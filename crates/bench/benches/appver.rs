@@ -1,0 +1,63 @@
+//! Benchmarks of the approximated verifiers — the per-node cost that
+//! dominates every BaB approach (the paper's "expensive process of
+//! problem solving").
+
+use abonn_bound::{AlphaCrown, AppVer, DeepPoly, Ibp, LpVerifier, SplitSet};
+use abonn_core::RobustnessProblem;
+use abonn_data::zoo::ModelKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn problem_for(kind: ModelKind) -> RobustnessProblem {
+    let (net, data) = kind.trained_model(1);
+    RobustnessProblem::new(&net, data.inputs[0].clone(), data.labels[0], 0.02)
+        .expect("valid instance")
+}
+
+fn bench_verifier_zoo(c: &mut Criterion) {
+    let problem = problem_for(ModelKind::MnistL2);
+    let splits = SplitSet::new();
+    let mut group = c.benchmark_group("appver/mnist_l2");
+    group.sample_size(20);
+    group.bench_function("ibp", |b| {
+        b.iter(|| black_box(Ibp::new().analyze(problem.margin_net(), problem.region(), &splits)))
+    });
+    group.bench_function("deeppoly", |b| {
+        b.iter(|| {
+            black_box(DeepPoly::new().analyze(problem.margin_net(), problem.region(), &splits))
+        })
+    });
+    group.bench_function("alpha_crown", |b| {
+        b.iter(|| {
+            black_box(AlphaCrown::default().analyze(
+                problem.margin_net(),
+                problem.region(),
+                &splits,
+            ))
+        })
+    });
+    group.bench_function("lp", |b| {
+        b.iter(|| {
+            black_box(LpVerifier::new().analyze(problem.margin_net(), problem.region(), &splits))
+        })
+    });
+    group.finish();
+}
+
+fn bench_deeppoly_per_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appver/deeppoly_by_model");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        let problem = problem_for(kind);
+        let splits = SplitSet::new();
+        group.bench_function(kind.paper_name(), |b| {
+            b.iter(|| {
+                black_box(DeepPoly::new().analyze(problem.margin_net(), problem.region(), &splits))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifier_zoo, bench_deeppoly_per_model);
+criterion_main!(benches);

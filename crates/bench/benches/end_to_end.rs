@@ -1,0 +1,43 @@
+//! End-to-end verification benchmarks: the three approaches on fixed
+//! MNIST-like instances (one certifiable, one falsifiable).
+
+use abonn_bench::scenario::{prepare_model, Approach};
+use abonn_core::{Budget, RobustnessProblem};
+use abonn_data::zoo::ModelKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_approaches(c: &mut Criterion) {
+    let prepared = prepare_model(ModelKind::MnistL2, 4, 1);
+    let budget = Budget::with_appver_calls(120);
+    // Smallest and largest radius in the prepared suite: the former leans
+    // certifiable, the latter falsifiable.
+    let mut instances = prepared.instances.clone();
+    instances.sort_by(|a, b| a.epsilon.total_cmp(&b.epsilon));
+    let scenarios = [
+        ("tight_eps", instances.first().cloned()),
+        ("wide_eps", instances.last().cloned()),
+    ];
+
+    for (tag, instance) in scenarios {
+        let Some(instance) = instance else { continue };
+        let problem = RobustnessProblem::new(
+            &prepared.network,
+            instance.input.clone(),
+            instance.label,
+            instance.epsilon,
+        )
+        .expect("valid instance");
+        let mut group = c.benchmark_group(format!("end_to_end/{tag}"));
+        group.sample_size(10);
+        for approach in Approach::rq1_lineup() {
+            group.bench_function(approach.label(), |b| {
+                b.iter(|| black_box(approach.build().verify(&problem, &budget)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_approaches);
+criterion_main!(benches);

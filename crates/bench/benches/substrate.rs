@@ -1,0 +1,71 @@
+//! Micro-benchmarks for the substrate crates (tensor, LP, tree ops,
+//! lowering).
+
+use abonn_bound::NeuronId;
+use abonn_core::{BabTree, NodeId};
+use abonn_lp::{Problem, Relation, Sense};
+use abonn_nn::{lowering, Conv2d};
+use abonn_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(64, 64, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
+    let b = Matrix::from_fn(64, 64, |i, j| ((i * 5 + j * 11) % 17) as f64 - 8.0);
+    c.bench_function("tensor/matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(black_box(&b))))
+    });
+}
+
+fn bench_lp(c: &mut Criterion) {
+    c.bench_function("lp/simplex_20var_10row", |bench| {
+        bench.iter(|| {
+            let mut p = Problem::new(20, Sense::Minimize);
+            let obj: Vec<f64> = (0..20).map(|i| ((i % 5) as f64) - 2.0).collect();
+            p.set_objective(&obj);
+            for j in 0..20 {
+                p.set_bounds(j, -1.0, 1.0);
+            }
+            for r in 0..10 {
+                let row: Vec<f64> = (0..20).map(|j| (((r + j) % 7) as f64) - 3.0).collect();
+                p.add_row(&row, Relation::Le, 5.0);
+            }
+            black_box(p.solve().expect("solvable"))
+        })
+    });
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    c.bench_function("core/tree_expand_512", |bench| {
+        bench.iter(|| {
+            let mut tree = BabTree::new(-1.0);
+            let mut frontier = vec![NodeId::ROOT];
+            let mut neuron = 0usize;
+            while tree.len() < 512 {
+                let node = frontier.remove(0);
+                let (a, b) = tree.expand(node, NeuronId::new(0, neuron), -0.5, -0.7);
+                tree.back_propagate(node);
+                frontier.push(a);
+                frontier.push(b);
+                neuron += 1;
+            }
+            black_box(tree.len())
+        })
+    });
+}
+
+fn bench_conv_lowering(c: &mut Criterion) {
+    let conv = Conv2d::new(3, 6, 3, 3, 1, 1, vec![0.01; 162], vec![0.0; 6]);
+    c.bench_function("nn/conv_to_matrix_8x8", |bench| {
+        bench.iter(|| black_box(lowering::conv_to_matrix(black_box(&conv), 8, 8)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_lp,
+    bench_tree_ops,
+    bench_conv_lowering
+);
+criterion_main!(benches);

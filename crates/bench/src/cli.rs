@@ -1,0 +1,122 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+use crate::scenario::Scale;
+use std::path::PathBuf;
+
+/// Common options of every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed (training, instance generation, random heuristics).
+    pub seed: u64,
+    /// Directory for CSV/JSON outputs.
+    pub out_dir: PathBuf,
+    /// Ignore cached run records and recompute.
+    pub fresh: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Smoke,
+            seed: 2025,
+            out_dir: PathBuf::from("target/experiments"),
+            fresh: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `--scale`, `--seed`, `--out-dir`, `--fresh` from an iterator
+    /// of raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or malformed values.
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut it = raw.peekable();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    args.scale = Scale::parse(&v)
+                        .ok_or_else(|| format!("unknown scale '{v}' (smoke|default|full)"))?;
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    args.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+                }
+                "--out-dir" => {
+                    let v = it.next().ok_or("--out-dir needs a value")?;
+                    args.out_dir = PathBuf::from(v);
+                }
+                "--fresh" => args.fresh = true,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--scale smoke|default|full] [--seed N] [--out-dir DIR] [--fresh]"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parses the process arguments, exiting with the usage message on
+    /// error. Intended as the first line of each binary's `main`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, String> {
+        Args::parse(v.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults_are_smoke_scale() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Smoke);
+        assert!(!a.fresh);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--scale",
+            "full",
+            "--seed",
+            "7",
+            "--out-dir",
+            "/tmp/x",
+            "--fresh",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+        assert!(a.fresh);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale", "tiny"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+    }
+}

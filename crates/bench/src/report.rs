@@ -1,0 +1,279 @@
+//! Text tables, CSV/JSON persistence, and summary statistics.
+
+use crate::scenario::InstanceRecord;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Renders an aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// let t = abonn_bench::report::fmt_table(
+///     &["model", "solved"],
+///     &[vec!["MNIST_L2".into(), "7".into()]],
+/// );
+/// assert!(t.contains("MNIST_L2"));
+/// ```
+#[must_use]
+pub fn fmt_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<w$} ", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Five-number summary (min, q1, median, q3, max) of a sample.
+///
+/// Returns `None` for an empty sample. Quartiles use linear interpolation.
+#[must_use]
+pub fn quartiles(values: &[f64]) -> Option<[f64; 5]> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let q = |p: f64| -> f64 {
+        let idx = p * (v.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    };
+    Some([v[0], q(0.25), q(0.5), q(0.75), v[v.len() - 1]])
+}
+
+/// Buckets positive values into power-of-two bins: `[1,2), [2,4), …`.
+///
+/// Returns `(bucket_lower_edges, counts)`.
+#[must_use]
+pub fn log2_histogram(values: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let buckets = (usize::BITS - max.leading_zeros()) as usize;
+    let mut counts = vec![0usize; buckets];
+    for &v in values {
+        if v == 0 {
+            continue;
+        }
+        let b = (usize::BITS - 1 - v.leading_zeros()) as usize;
+        counts[b] += 1;
+    }
+    let edges = (0..buckets).map(|b| 1usize << b).collect();
+    (edges, counts)
+}
+
+/// Renders a histogram as ASCII bars.
+#[must_use]
+pub fn ascii_histogram(edges: &[usize], counts: &[usize]) -> String {
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (e, c) in edges.iter().zip(counts) {
+        let bar = "#".repeat((c * 40).div_ceil(max).min(40));
+        out.push_str(&format!("{:>8}+ | {:<40} {}\n", e, bar, c));
+    }
+    out
+}
+
+/// Renders a log-log ASCII scatter of `(x, y)` points — the text analogue
+/// of the paper's Fig. 4 panels. Non-positive values are clamped to the
+/// smallest positive point.
+#[must_use]
+pub fn ascii_scatter(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return String::from("(no points)\n");
+    }
+    let min_pos = |vals: &mut dyn Iterator<Item = f64>| -> f64 {
+        vals.filter(|v| *v > 0.0).fold(f64::INFINITY, f64::min)
+    };
+    let x_floor = min_pos(&mut points.iter().map(|p| p.0)).max(1e-9);
+    let y_floor = min_pos(&mut points.iter().map(|p| p.1)).max(1e-9);
+    let lx: Vec<f64> = points.iter().map(|p| p.0.max(x_floor).log10()).collect();
+    let ly: Vec<f64> = points.iter().map(|p| p.1.max(y_floor).log10()).collect();
+    let (x0, x1) = lx
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (y0, y1) = ly
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let span = |a: f64, b: f64| if (b - a).abs() < 1e-12 { 1.0 } else { b - a };
+    let mut grid = vec![vec![' '; width]; height];
+    // Horizontal reference line at speedup = 1 (y = 0 in log10).
+    if y0 <= 0.0 && 0.0 <= y1 {
+        let r = ((y1 - 0.0) / span(y0, y1) * (height - 1) as f64).round() as usize;
+        for cell in &mut grid[r.min(height - 1)] {
+            *cell = '-';
+        }
+    }
+    for (&px, &py) in lx.iter().zip(&ly) {
+        let col = ((px - x0) / span(x0, x1) * (width - 1) as f64).round() as usize;
+        let row = ((y1 - py) / span(y0, y1) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col.min(width - 1)] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("speedup {:>8.2}x ┐\n", 10f64.powf(y1)));
+    for row in grid {
+        out.push_str("              │");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "speedup {:>8.2}x └{} \n   ABONN time: {:.3}s .. {:.3}s (log scale)\n",
+        10f64.powf(y0),
+        "─".repeat(width),
+        10f64.powf(x0),
+        10f64.powf(x1),
+    ));
+    out
+}
+
+/// Ensures the output directory exists and returns `dir/name`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn out_path(dir: &Path, name: &str) -> PathBuf {
+    fs::create_dir_all(dir).expect("create output directory");
+    dir.join(name)
+}
+
+/// Writes rows as CSV (naive quoting: cells must not contain commas).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Persists run records as JSON.
+///
+/// # Errors
+///
+/// Returns any I/O or serialisation error.
+pub fn save_records(path: &Path, records: &[InstanceRecord]) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(records)?;
+    fs::write(path, json)
+}
+
+/// Loads run records from JSON, or `None` when the file is absent or
+/// unreadable.
+#[must_use]
+pub fn load_records(path: &Path) -> Option<Vec<InstanceRecord>> {
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = fmt_table(
+            &["a", "long-header"],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let q = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q, [1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(quartiles(&[]), None);
+        let single = quartiles(&[7.0]).unwrap();
+        assert_eq!(single, [7.0; 5]);
+    }
+
+    #[test]
+    fn log2_histogram_buckets_correctly() {
+        let (edges, counts) = log2_histogram(&[1, 2, 3, 4, 7, 8]);
+        assert_eq!(edges, vec![1, 2, 4, 8]);
+        assert_eq!(counts, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn log2_histogram_handles_empty() {
+        let (edges, counts) = log2_histogram(&[]);
+        assert!(edges.is_empty() && counts.is_empty());
+    }
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let dir = std::env::temp_dir().join("abonn-bench-test");
+        let path = out_path(&dir, "records.json");
+        let records = vec![InstanceRecord {
+            model: "M".into(),
+            approach: "A".into(),
+            instance_id: 1,
+            epsilon: 0.1,
+            verdict: "verified".into(),
+            appver_calls: 10,
+            nodes_visited: 5,
+            tree_size: 9,
+            max_depth: 3,
+            wall_secs: 0.25,
+        }];
+        save_records(&path, &records).unwrap();
+        assert_eq!(load_records(&path), Some(records));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn ascii_scatter_plots_points_and_reference_line() {
+        let s = ascii_scatter(&[(0.1, 0.5), (1.0, 2.0), (10.0, 8.0)], 40, 8);
+        assert!(s.contains('*'));
+        assert!(s.contains('-'), "speedup=1 reference line expected");
+        assert!(s.contains("log scale"));
+        assert_eq!(ascii_scatter(&[], 40, 8), "(no points)\n");
+    }
+
+    #[test]
+    fn ascii_histogram_draws_bars() {
+        let s = ascii_histogram(&[1, 2], &[1, 4]);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() == 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Harness-level integration: the calibrated suite has the mixed
+//! composition the paper's filter produces, and the shared runner records
+//! are internally consistent.
+
+use abonn_bench::scenario::{prepare_model, run_instance, Approach};
+use abonn_core::Budget;
+use abonn_data::zoo::ModelKind;
+use std::time::Duration;
+
+#[test]
+fn calibrated_suite_mixes_verdicts_and_records_are_consistent() {
+    let prepared = prepare_model(ModelKind::MnistL2, 6, 2025);
+    assert!(
+        prepared.instances.len() >= 4,
+        "calibration found too few instances"
+    );
+    let budget = Budget::with_appver_calls(400).and_wall_limit(Duration::from_secs(5));
+    let mut verdicts = std::collections::BTreeSet::new();
+    for inst in &prepared.instances {
+        let rec = run_instance(&prepared, inst, Approach::ABONN_DEFAULT, &budget);
+        assert_eq!(rec.model, "MNIST_L2");
+        assert_eq!(rec.instance_id, inst.id);
+        assert!(rec.appver_calls >= 1);
+        assert!(rec.wall_secs >= 0.0);
+        assert!(
+            rec.tree_size >= 1 && rec.max_depth <= rec.tree_size,
+            "tree stats inconsistent: size {} depth {}",
+            rec.tree_size,
+            rec.max_depth
+        );
+        // The calibration discards instances the root call solves, so
+        // solved runs must have actually branched (more than one call).
+        if rec.solved() {
+            assert!(
+                rec.appver_calls > 1,
+                "instance {} was root-trivial despite calibration",
+                inst.id
+            );
+        }
+        verdicts.insert(rec.verdict.clone());
+    }
+    // The paper's filter yields a mix: within this small budget we expect
+    // at least two distinct outcomes across the suite.
+    assert!(
+        verdicts.len() >= 2,
+        "suite composition degenerate: {verdicts:?}"
+    );
+}
+
+#[test]
+fn approaches_never_disagree_on_smoke_suite() {
+    let prepared = prepare_model(ModelKind::MnistL4, 4, 77);
+    let budget = Budget::with_appver_calls(300).and_wall_limit(Duration::from_secs(5));
+    for inst in &prepared.instances {
+        let mut solved = Vec::new();
+        for approach in Approach::rq1_lineup() {
+            let rec = run_instance(&prepared, inst, approach, &budget);
+            if rec.solved() {
+                solved.push((approach.label(), rec.verdict.clone()));
+            }
+        }
+        for pair in solved.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "{} and {} disagree on instance {}",
+                pair[0].0, pair[1].0, inst.id
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Cheap-first verifier cascade.
+//!
+//! Production verifiers avoid paying for tight bounds when loose ones
+//! already decide a sub-problem: run IBP first, escalate to DeepPoly only
+//! when IBP is inconclusive, and optionally escalate again to a final
+//! tier. The cascade is itself an [`AppVer`], so every BaB approach can
+//! use it transparently; it returns the first conclusive analysis, or the
+//! last (tightest) one.
+
+use crate::types::{Analysis, AppVer, InputBox, SplitSet};
+use abonn_nn::CanonicalNetwork;
+use std::sync::Arc;
+
+/// A sequence of verifiers tried cheapest-first.
+///
+/// # Examples
+///
+/// ```
+/// use abonn_bound::{AppVer, Cascade, DeepPoly, Ibp, InputBox, SplitSet};
+/// use abonn_nn::{AffinePair, CanonicalNetwork};
+/// use abonn_tensor::Matrix;
+/// use std::sync::Arc;
+///
+/// let cascade = Cascade::new(vec![Arc::new(Ibp::new()), Arc::new(DeepPoly::new())]);
+/// let net = CanonicalNetwork::from_affine_pairs(1, vec![
+///     AffinePair::new(Matrix::identity(1), vec![2.0]),
+/// ]);
+/// let a = cascade.analyze(&net, &InputBox::new(vec![-1.0], vec![1.0]), &SplitSet::new());
+/// assert!(a.p_hat > 0.0); // IBP already verifies; DeepPoly never runs
+/// ```
+#[derive(Clone)]
+pub struct Cascade {
+    tiers: Vec<Arc<dyn AppVer>>,
+}
+
+impl Cascade {
+    /// Creates a cascade from cheapest to most expensive tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty.
+    #[must_use]
+    pub fn new(tiers: Vec<Arc<dyn AppVer>>) -> Self {
+        assert!(!tiers.is_empty(), "Cascade::new: need at least one tier");
+        Self { tiers }
+    }
+
+    /// The standard two-tier cascade: IBP then DeepPoly.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(vec![
+            Arc::new(crate::Ibp::new()),
+            Arc::new(crate::DeepPoly::new()),
+        ])
+    }
+
+    /// Number of tiers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Returns `true` if the cascade has no tiers (never after `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Cascade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.tiers.iter().map(|t| t.name()).collect();
+        write!(f, "Cascade({})", names.join(" -> "))
+    }
+}
+
+impl AppVer for Cascade {
+    fn analyze(&self, net: &CanonicalNetwork, region: &InputBox, splits: &SplitSet) -> Analysis {
+        let mut last = None;
+        for tier in &self.tiers {
+            let analysis = tier.analyze(net, region, splits);
+            if analysis.verified() {
+                return analysis;
+            }
+            last = Some(analysis);
+        }
+        last.expect("cascade has at least one tier")
+    }
+
+    fn name(&self) -> &'static str {
+        "cascade"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeepPoly, Ibp};
+    use abonn_nn::AffinePair;
+    use abonn_tensor::Matrix;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_net(seed: u64, dims: &[usize]) -> CanonicalNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut layers = Vec::new();
+        for w in dims.windows(2) {
+            let m = Matrix::from_fn(w[1], w[0], |_, _| rng.gen_range(-1.0..1.0));
+            let b: Vec<f64> = (0..w[1]).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            layers.push(AffinePair::new(m, b));
+        }
+        CanonicalNetwork::from_affine_pairs(dims[0], layers)
+    }
+
+    #[test]
+    fn cascade_result_matches_final_tier_when_inconclusive() {
+        let net = random_net(1, &[3, 6, 2]);
+        let region = InputBox::new(vec![-0.5; 3], vec![0.5; 3]);
+        let cascade = Cascade::standard();
+        let c = cascade.analyze(&net, &region, &SplitSet::new());
+        let dp = DeepPoly::new().analyze(&net, &region, &SplitSet::new());
+        if !c.verified() {
+            assert_eq!(c.p_hat, dp.p_hat);
+        }
+    }
+
+    #[test]
+    fn cascade_never_looser_than_first_tier() {
+        for seed in 0..5 {
+            let net = random_net(seed, &[3, 5, 2]);
+            let region = InputBox::new(vec![-0.3; 3], vec![0.3; 3]);
+            let ibp = Ibp::new().analyze(&net, &region, &SplitSet::new());
+            let c = Cascade::standard().analyze(&net, &region, &SplitSet::new());
+            assert!(c.p_hat >= ibp.p_hat - 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tier_cascade_is_transparent() {
+        let net = random_net(7, &[2, 4, 2]);
+        let region = InputBox::new(vec![-0.4; 2], vec![0.4; 2]);
+        let only = Cascade::new(vec![Arc::new(Ibp::new())]);
+        let a = only.analyze(&net, &region, &SplitSet::new());
+        let b = Ibp::new().analyze(&net, &region, &SplitSet::new());
+        assert_eq!(a.p_hat, b.p_hat);
+        assert_eq!(only.len(), 1);
+    }
+
+    #[test]
+    fn debug_lists_tier_names() {
+        let c = Cascade::standard();
+        assert_eq!(format!("{c:?}"), "Cascade(IBP -> DeepPoly)");
+    }
+}

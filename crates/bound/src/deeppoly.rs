@@ -1,0 +1,461 @@
+//! DeepPoly/CROWN-style linear-relaxation bound propagation with split
+//! constraints.
+//!
+//! For each affine stage the engine back-substitutes a pair of linear
+//! expressions (a lower and an upper bound on the stage's pre-activations)
+//! through all earlier ReLU relaxations down to the input, then
+//! concretises them over the input box. Pre-activation bounds are
+//! intersected with interval propagation (so the result is never looser
+//! than [`Ibp`](crate::Ibp)) and tightened by the sub-problem's split
+//! constraints before the stage's own ReLU relaxation is formed.
+
+use crate::ibp::Ibp;
+use crate::relax::{apply_split, ReluRelaxation};
+use crate::types::{Analysis, AppVer, InputBox, LayerBounds, NeuronId, SplitSet};
+use abonn_nn::CanonicalNetwork;
+use abonn_tensor::Matrix;
+
+/// Intermediate result of a full bound computation, including everything
+/// needed to extract candidates and to re-run with different α slopes.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundsResult {
+    /// Pre-activation bounds per stage (post split-clamp).
+    pub bounds: Vec<LayerBounds>,
+    /// Coefficients of the linear lower bound of the *output* stage over
+    /// the input (one row per output); used to extract the box corner that
+    /// minimises the relaxed output.
+    pub output_lower_coeffs: Matrix,
+}
+
+/// Per-stage, per-neuron lower-relaxation slopes in `[0, 1]`.
+pub(crate) type AlphaAssignment = Vec<Vec<f64>>;
+
+/// Runs the backward-substitution analysis.
+///
+/// `alphas` overrides the lower-relaxation slope of unstable neurons; when
+/// `None` the DeepPoly adaptive slope is used. Returns `None` when a split
+/// constraint makes the region infeasible.
+pub(crate) fn compute_bounds(
+    net: &CanonicalNetwork,
+    region: &InputBox,
+    splits: &SplitSet,
+    alphas: Option<&AlphaAssignment>,
+) -> Option<BoundsResult> {
+    compute_bounds_with(net, region, splits, alphas, RelaxMode::Adaptive, true)
+}
+
+/// Lower-relaxation slope policy for unstable neurons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RelaxMode {
+    /// DeepPoly's area-adaptive slope (`1` when `u ≥ −l`, else `0`).
+    #[default]
+    Adaptive,
+    /// Planet-style zero lower bound (`a ≥ 0` only) — markedly looser,
+    /// producing the larger, bushier BaB trees typical of weaker
+    /// relaxations.
+    Zero,
+}
+
+/// Full-control variant of [`compute_bounds`]: slope policy and whether to
+/// intersect with interval propagation.
+pub(crate) fn compute_bounds_with(
+    net: &CanonicalNetwork,
+    region: &InputBox,
+    splits: &SplitSet,
+    alphas: Option<&AlphaAssignment>,
+    mode: RelaxMode,
+    intersect_ibp: bool,
+) -> Option<BoundsResult> {
+    let num_layers = net.num_layers();
+    let ibp_bounds = Ibp::propagate(net, region, splits)?;
+
+    let mut bounds: Vec<LayerBounds> = Vec::with_capacity(num_layers);
+    let mut relaxations: Vec<Vec<ReluRelaxation>> = Vec::with_capacity(num_layers - 1);
+    let mut out_low: Option<Matrix> = None;
+
+    for k in 0..num_layers {
+        let (lo_expr, lo_const, hi_expr, hi_const) = back_substitute(net, k, &relaxations);
+        let n = net.layers()[k].out_dim();
+        let mut lo = vec![0.0; n];
+        let mut hi = vec![0.0; n];
+        for s in 0..n {
+            lo[s] = concretize_min(lo_expr.row(s), region) + lo_const[s];
+            hi[s] = concretize_max(hi_expr.row(s), region) + hi_const[s];
+        }
+        // Intersect with IBP so DeepPoly never reports looser bounds
+        // (skipped in the deliberately-loose Planet mode).
+        for s in 0..n {
+            if intersect_ibp {
+                lo[s] = lo[s].max(ibp_bounds[k].lower[s]);
+                hi[s] = hi[s].min(ibp_bounds[k].upper[s]);
+            } else {
+                lo[s] = lo[s].max(ibp_bounds[k].lower[s].min(-1e30));
+                hi[s] = hi[s].min(ibp_bounds[k].upper[s].max(1e30));
+            }
+            // Numerical guard: never let the pair invert from round-off.
+            if lo[s] > hi[s] && lo[s] - hi[s] < 1e-9 {
+                let mid = 0.5 * (lo[s] + hi[s]);
+                lo[s] = mid;
+                hi[s] = mid;
+            }
+        }
+
+        if k + 1 < num_layers {
+            // Split clamping + infeasibility detection, then relaxations.
+            let mut relax = Vec::with_capacity(n);
+            for s in 0..n {
+                let sign = splits.sign_of(NeuronId::new(k, s));
+                let (l, u) = apply_split(lo[s], hi[s], sign);
+                if l > u + 1e-12 {
+                    return None;
+                }
+                lo[s] = l;
+                hi[s] = u.max(l);
+                let alpha = match (alphas, mode) {
+                    (Some(a), _) => a[k][s].clamp(0.0, 1.0),
+                    (None, RelaxMode::Adaptive) => ReluRelaxation::deeppoly_alpha(lo[s], hi[s]),
+                    (None, RelaxMode::Zero) => 0.0,
+                };
+                relax.push(ReluRelaxation::with_alpha(lo[s], hi[s], alpha));
+            }
+            relaxations.push(relax);
+        } else {
+            out_low = Some(lo_expr);
+        }
+        bounds.push(LayerBounds::new(lo, hi));
+    }
+
+    let output_lower_coeffs = out_low.expect("loop always reaches the output stage");
+    Some(BoundsResult {
+        bounds,
+        output_lower_coeffs,
+    })
+}
+
+/// Back-substitutes stage `k`'s pre-activation expressions down to the
+/// input, returning `(lower_coeffs, lower_consts, upper_coeffs,
+/// upper_consts)` over the input vector.
+fn back_substitute(
+    net: &CanonicalNetwork,
+    k: usize,
+    relaxations: &[Vec<ReluRelaxation>],
+) -> (Matrix, Vec<f64>, Matrix, Vec<f64>) {
+    let stage = &net.layers()[k];
+    let mut lo_a = stage.weight.clone();
+    let mut lo_c = stage.bias.clone();
+    let mut hi_a = stage.weight.clone();
+    let mut hi_c = stage.bias.clone();
+
+    for j in (0..k).rev() {
+        let relax = &relaxations[j];
+        substitute_relu(&mut lo_a, &mut lo_c, relax, true);
+        substitute_relu(&mut hi_a, &mut hi_c, relax, false);
+        let prev = &net.layers()[j];
+        // Expression over z_j = W_j a_{j-1} + b_j → over a_{j-1}.
+        for (ci, v) in lo_c.iter_mut().enumerate() {
+            *v += abonn_tensor::vecops::dot(lo_a.row(ci), &prev.bias);
+        }
+        for (ci, v) in hi_c.iter_mut().enumerate() {
+            *v += abonn_tensor::vecops::dot(hi_a.row(ci), &prev.bias);
+        }
+        lo_a = lo_a.matmul(&prev.weight);
+        hi_a = hi_a.matmul(&prev.weight);
+    }
+    (lo_a, lo_c, hi_a, hi_c)
+}
+
+/// Replaces coefficients over post-activations `a_j` with coefficients
+/// over pre-activations `z_j`, using the sound side of each relaxation.
+///
+/// For a *lower* bound expression, positive coefficients take the ReLU's
+/// lower linear bound and negative ones its upper bound (and vice versa
+/// for an upper bound expression).
+fn substitute_relu(a: &mut Matrix, c: &mut [f64], relax: &[ReluRelaxation], lower: bool) {
+    for (s, cs) in c.iter_mut().enumerate() {
+        let row = a.row_mut(s);
+        let mut const_add = 0.0;
+        for (coeff, r) in row.iter_mut().zip(relax) {
+            let take_lower = (*coeff >= 0.0) == lower;
+            if take_lower {
+                *coeff *= r.lower_slope;
+            } else {
+                const_add += *coeff * r.upper_intercept;
+                *coeff *= r.upper_slope;
+            }
+        }
+        *cs += const_add;
+    }
+}
+
+/// Minimum of `coeffs · x` over the box.
+fn concretize_min(coeffs: &[f64], region: &InputBox) -> f64 {
+    coeffs
+        .iter()
+        .zip(region.lo().iter().zip(region.hi()))
+        .map(|(&w, (&l, &h))| if w >= 0.0 { w * l } else { w * h })
+        .sum()
+}
+
+/// Maximum of `coeffs · x` over the box.
+fn concretize_max(coeffs: &[f64], region: &InputBox) -> f64 {
+    coeffs
+        .iter()
+        .zip(region.lo().iter().zip(region.hi()))
+        .map(|(&w, (&l, &h))| if w >= 0.0 { w * h } else { w * l })
+        .sum()
+}
+
+/// Extracts the candidate counterexample: the box corner minimising the
+/// linear lower bound of the most-violated output row.
+pub(crate) fn candidate_from(result: &BoundsResult, region: &InputBox) -> Option<Vec<f64>> {
+    let out = result.bounds.last()?;
+    let (worst_row, _) = out
+        .lower
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("bounds are not NaN"))?;
+    let coeffs = result.output_lower_coeffs.row(worst_row);
+    Some(
+        coeffs
+            .iter()
+            .zip(region.lo().iter().zip(region.hi()))
+            .map(|(&w, (&l, &h))| if w >= 0.0 { l } else { h })
+            .collect(),
+    )
+}
+
+/// The DeepPoly verifier: linear relaxation with the adaptive lower slope
+/// (or, in [`DeepPoly::planet`] mode, the looser Planet-style relaxation).
+///
+/// See the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeepPoly {
+    mode: RelaxMode,
+    intersect_ibp: bool,
+}
+
+impl Default for DeepPoly {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeepPoly {
+    /// Creates a DeepPoly verifier (adaptive slopes, IBP-intersected).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            mode: RelaxMode::Adaptive,
+            intersect_ibp: true,
+        }
+    }
+
+    /// Creates the deliberately looser Planet-style variant: zero lower
+    /// slopes and no interval intersection. Still sound, but with the
+    /// larger over-approximation (and hence the larger BaB trees) typical
+    /// of earlier-generation verifiers.
+    #[must_use]
+    pub fn planet() -> Self {
+        Self {
+            mode: RelaxMode::Zero,
+            intersect_ibp: false,
+        }
+    }
+}
+
+impl AppVer for DeepPoly {
+    fn analyze(&self, net: &CanonicalNetwork, region: &InputBox, splits: &SplitSet) -> Analysis {
+        if splits.is_contradictory() {
+            return Analysis::infeasible();
+        }
+        let Some(result) =
+            compute_bounds_with(net, region, splits, None, self.mode, self.intersect_ibp)
+        else {
+            return Analysis::infeasible();
+        };
+        let out = result.bounds.last().expect("non-empty");
+        let p_hat = out.lower.iter().cloned().fold(f64::INFINITY, f64::min);
+        let candidate = (p_hat < 0.0)
+            .then(|| candidate_from(&result, region))
+            .flatten();
+        Analysis {
+            p_hat,
+            candidate,
+            bounds: result.bounds,
+            infeasible: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DeepPoly"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SplitSign;
+    use abonn_nn::AffinePair;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// z1 = (x, -x), a = relu(z1), y = a0 + a1 - 0.6 over x in [-1, 1].
+    /// The true minimum of y is -0.6 (at x = 0); DeepPoly's relaxation
+    /// proves a bound in [-0.6 - slack, -0.6].
+    fn v_net() -> CanonicalNetwork {
+        CanonicalNetwork::from_affine_pairs(
+            1,
+            vec![
+                AffinePair::new(Matrix::from_rows(&[&[1.0], &[-1.0]]), vec![0.0, 0.0]),
+                AffinePair::new(Matrix::from_rows(&[&[1.0, 1.0]]), vec![-0.6]),
+            ],
+        )
+    }
+
+    fn random_net(seed: u64, dims: &[usize]) -> CanonicalNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut layers = Vec::new();
+        for w in dims.windows(2) {
+            let m = Matrix::from_fn(w[1], w[0], |_, _| rng.gen_range(-1.0..1.0));
+            let b: Vec<f64> = (0..w[1]).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            layers.push(AffinePair::new(m, b));
+        }
+        CanonicalNetwork::from_affine_pairs(dims[0], layers)
+    }
+
+    #[test]
+    fn deeppoly_tightens_over_ibp_on_v_example() {
+        let net = v_net();
+        let region = InputBox::new(vec![-1.0], vec![1.0]);
+        let dp = DeepPoly::new().analyze(&net, &region, &SplitSet::new());
+        let ibp = Ibp::new().analyze(&net, &region, &SplitSet::new());
+        assert!(dp.p_hat >= ibp.p_hat - 1e-12);
+        // DeepPoly cannot prove more than the true minimum −0.6.
+        assert!(dp.p_hat <= -0.6 + 1e-9);
+    }
+
+    #[test]
+    fn splitting_both_branches_verifies_nothing_but_tightens() {
+        let net = v_net();
+        let region = InputBox::new(vec![-1.0], vec![1.0]);
+        // Pos split on neuron 0 (x >= 0) makes both neurons stable:
+        // z0 = x in [0,1] active, z1 = -x in [-1, 0] inactive → y = x - 0.6
+        // with exact bounds [-0.6, 0.4].
+        let splits = SplitSet::new().with(NeuronId::new(0, 0), SplitSign::Pos);
+        let a = DeepPoly::new().analyze(&net, &region, &splits);
+        assert!((a.p_hat + 0.6).abs() < 1e-9, "p_hat = {}", a.p_hat);
+    }
+
+    #[test]
+    fn candidate_minimises_relaxed_output() {
+        let net = v_net();
+        let region = InputBox::new(vec![-1.0], vec![1.0]);
+        let a = DeepPoly::new().analyze(&net, &region, &SplitSet::new());
+        let cand = a.candidate.expect("negative p_hat gives candidate");
+        assert!(region.contains(&cand, 1e-12));
+    }
+
+    #[test]
+    fn verified_region_has_no_candidate() {
+        // y = relu(x) + 1 > 0 always.
+        let net = CanonicalNetwork::from_affine_pairs(
+            1,
+            vec![
+                AffinePair::new(Matrix::identity(1), vec![0.0]),
+                AffinePair::new(Matrix::identity(1), vec![1.0]),
+            ],
+        );
+        let a = DeepPoly::new().analyze(
+            &net,
+            &InputBox::new(vec![-1.0], vec![1.0]),
+            &SplitSet::new(),
+        );
+        assert!(a.p_hat > 0.0);
+        assert!(a.candidate.is_none());
+        assert!(a.verified());
+    }
+
+    #[test]
+    fn soundness_on_random_networks() {
+        for seed in 0..5 {
+            let net = random_net(seed, &[3, 6, 5, 2]);
+            let region = InputBox::new(vec![-0.5; 3], vec![0.5; 3]);
+            let a = DeepPoly::new().analyze(&net, &region, &SplitSet::new());
+            let mut rng = SmallRng::seed_from_u64(seed + 100);
+            for _ in 0..50 {
+                let x: Vec<f64> = (0..3).map(|_| rng.gen_range(-0.5..0.5)).collect();
+                let zs = net.preactivations(&x);
+                for (lb, z) in a.bounds.iter().zip(&zs) {
+                    for (i, &zi) in z.iter().enumerate() {
+                        assert!(
+                            zi >= lb.lower[i] - 1e-7 && zi <= lb.upper[i] + 1e-7,
+                            "seed {seed}: z = {zi} outside [{}, {}]",
+                            lb.lower[i],
+                            lb.upper[i]
+                        );
+                    }
+                }
+                let y = net.forward(&x);
+                let min_y = y.iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(
+                    a.p_hat <= min_y + 1e-7,
+                    "p_hat {} above margin {min_y}",
+                    a.p_hat
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deeppoly_dominates_ibp_on_random_networks() {
+        for seed in 10..16 {
+            let net = random_net(seed, &[4, 8, 8, 3]);
+            let region = InputBox::new(vec![-0.3; 4], vec![0.3; 4]);
+            let dp = DeepPoly::new().analyze(&net, &region, &SplitSet::new());
+            let ibp = Ibp::new().analyze(&net, &region, &SplitSet::new());
+            assert!(dp.p_hat >= ibp.p_hat - 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn split_children_bounds_within_parent() {
+        let net = random_net(42, &[3, 6, 4, 2]);
+        let region = InputBox::new(vec![-0.5; 3], vec![0.5; 3]);
+        let root = DeepPoly::new().analyze(&net, &region, &SplitSet::new());
+        let unstable = root.unstable_neurons(&SplitSet::new());
+        assert!(!unstable.is_empty(), "need an unstable neuron for the test");
+        let n = unstable[0];
+        for sign in [SplitSign::Pos, SplitSign::Neg] {
+            let child = DeepPoly::new().analyze(&net, &region, &SplitSet::new().with(n, sign));
+            if !child.infeasible {
+                // Splitting only adds constraints, so the child's bound can
+                // only improve (increase).
+                assert!(child.p_hat >= root.p_hat - 1e-9);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// p̂ must lower-bound the concrete margin for random nets, boxes,
+        /// and sampled points.
+        #[test]
+        fn p_hat_is_a_sound_lower_bound(
+            seed in 0u64..200,
+            half_width in 0.05..0.6_f64,
+        ) {
+            let net = random_net(seed, &[3, 5, 4, 2]);
+            let region = InputBox::new(vec![-half_width; 3], vec![half_width; 3]);
+            let a = DeepPoly::new().analyze(&net, &region, &SplitSet::new());
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xFFFF);
+            for _ in 0..20 {
+                let x: Vec<f64> = (0..3).map(|_| rng.gen_range(-half_width..half_width)).collect();
+                let y = net.forward(&x);
+                let min_y = y.iter().cloned().fold(f64::INFINITY, f64::min);
+                prop_assert!(a.p_hat <= min_y + 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! LP-relaxation verifier: the Planet-style triangle encoding solved with
+//! the `abonn-lp` simplex.
+//!
+//! This is the reproduction's stand-in for the paper's GUROBI-backed
+//! bounding. Each unstable ReLU contributes the three triangle facets
+//! `a ≥ 0`, `a ≥ z`, `a ≤ u·(z − l)/(u − l)`; stable and split neurons
+//! contribute exact linear rows. The LP minimum of an output coordinate is
+//! a sound lower bound that is at least as tight as DeepPoly's (the
+//! DeepPoly bound is a feasible dual choice of the same relaxation).
+
+use crate::deeppoly::compute_bounds;
+use crate::types::{Analysis, AppVer, InputBox, NeuronId, SplitSet, SplitSign};
+use abonn_lp::{Problem, Relation, Sense, Status};
+use abonn_nn::CanonicalNetwork;
+
+/// The LP-relaxation verifier.
+///
+/// Noticeably more expensive per call than [`DeepPoly`](crate::DeepPoly);
+/// intended for small networks, ablations, and as the "expensive solver"
+/// end of the verifier spectrum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpVerifier {
+    _private: (),
+}
+
+impl LpVerifier {
+    /// Creates an LP verifier.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AppVer for LpVerifier {
+    fn analyze(&self, net: &CanonicalNetwork, region: &InputBox, splits: &SplitSet) -> Analysis {
+        if splits.is_contradictory() {
+            return Analysis::infeasible();
+        }
+        // DeepPoly pass supplies the pre-activation boxes the triangle
+        // facets need (and already handles split clamping).
+        let Some(pre) = compute_bounds(net, region, splits, None) else {
+            return Analysis::infeasible();
+        };
+        let mut bounds = pre.bounds;
+        let num_layers = net.num_layers();
+        let n_out = net.output_dim();
+
+        // Variable layout: input, then per hidden stage (z_k, a_k), then
+        // the output z.
+        let n_in = net.input_dim();
+        let mut z_off = Vec::with_capacity(num_layers);
+        let mut a_off = Vec::with_capacity(num_layers - 1);
+        let mut total = n_in;
+        for k in 0..num_layers {
+            z_off.push(total);
+            total += net.layers()[k].out_dim();
+            if k + 1 < num_layers {
+                a_off.push(total);
+                total += net.layers()[k].out_dim();
+            }
+        }
+
+        let mut base = Problem::new(total, Sense::Minimize);
+        for (j, (&l, &h)) in region.lo().iter().zip(region.hi()).enumerate() {
+            base.set_bounds(j, l, h);
+        }
+        for k in 0..num_layers {
+            let lb = &bounds[k];
+            for i in 0..lb.len() {
+                base.set_bounds(z_off[k] + i, lb.lower[i], lb.upper[i]);
+            }
+        }
+
+        // z_k = W_k · a_{k-1} + b_k  (a_{-1} = x).
+        for k in 0..num_layers {
+            let stage = &net.layers()[k];
+            let prev_off = if k == 0 { 0 } else { a_off[k - 1] };
+            for i in 0..stage.out_dim() {
+                let mut row = vec![0.0; total];
+                row[z_off[k] + i] = 1.0;
+                for (t, &w) in stage.weight.row(i).iter().enumerate() {
+                    row[prev_off + t] = -w;
+                }
+                base.add_row(&row, Relation::Eq, stage.bias[i]);
+            }
+        }
+
+        // ReLU encodings per hidden neuron.
+        for k in 0..num_layers - 1 {
+            let lb = bounds[k].clone();
+            for i in 0..lb.len() {
+                let (l, u) = (lb.lower[i], lb.upper[i]);
+                let zv = z_off[k] + i;
+                let av = a_off[k] + i;
+                let sign = splits.sign_of(NeuronId::new(k, i));
+                let active = l >= 0.0 || sign == Some(SplitSign::Pos);
+                let inactive = u <= 0.0 || sign == Some(SplitSign::Neg);
+                if active && !inactive {
+                    // a = z
+                    base.set_bounds(av, l.max(0.0), u.max(0.0));
+                    let mut row = vec![0.0; total];
+                    row[av] = 1.0;
+                    row[zv] = -1.0;
+                    base.add_row(&row, Relation::Eq, 0.0);
+                } else if inactive {
+                    base.set_bounds(av, 0.0, 0.0);
+                } else {
+                    // Unstable: triangle relaxation.
+                    base.set_bounds(av, 0.0, u.max(0.0));
+                    let mut ge = vec![0.0; total];
+                    ge[av] = 1.0;
+                    ge[zv] = -1.0;
+                    base.add_row(&ge, Relation::Ge, 0.0); // a >= z
+                    let s = u / (u - l);
+                    let mut le = vec![0.0; total];
+                    le[av] = 1.0;
+                    le[zv] = -s;
+                    base.add_row(&le, Relation::Le, -s * l); // a <= s(z - l)
+                }
+            }
+        }
+
+        // Solve one LP per output row DeepPoly has not already verified.
+        let out_off = z_off[num_layers - 1];
+        let mut p_hat = f64::INFINITY;
+        let mut candidate: Option<Vec<f64>> = None;
+        let out_bounds = bounds.last().expect("non-empty").clone();
+        let mut new_lower = out_bounds.lower.clone();
+        for r in 0..n_out {
+            if out_bounds.lower[r] > 0.0 {
+                p_hat = p_hat.min(out_bounds.lower[r]);
+                continue;
+            }
+            let mut prob = base.clone();
+            let mut obj = vec![0.0; total];
+            obj[out_off + r] = 1.0;
+            prob.set_objective(&obj);
+            match prob.solve() {
+                Ok(sol) if sol.status == Status::Optimal => {
+                    // The LP minimum can only improve (raise) the DeepPoly
+                    // bound; guard against solver tolerance lowering it.
+                    let v = sol.objective.max(out_bounds.lower[r]);
+                    new_lower[r] = v;
+                    if v < p_hat {
+                        p_hat = v;
+                        if v < 0.0 {
+                            candidate = Some(sol.x[..n_in].to_vec());
+                        }
+                    }
+                }
+                Ok(sol) if sol.status == Status::Infeasible => {
+                    return Analysis::infeasible();
+                }
+                // Unbounded cannot happen (all variables boxed); solver
+                // failure falls back to the sound DeepPoly bound.
+                _ => p_hat = p_hat.min(out_bounds.lower[r]),
+            }
+        }
+        let last = bounds.len() - 1;
+        bounds[last].lower = new_lower;
+
+        Analysis {
+            p_hat,
+            candidate,
+            bounds,
+            infeasible: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "LP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deeppoly::DeepPoly;
+    use abonn_nn::AffinePair;
+    use abonn_tensor::Matrix;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v_net() -> CanonicalNetwork {
+        CanonicalNetwork::from_affine_pairs(
+            1,
+            vec![
+                AffinePair::new(Matrix::from_rows(&[&[1.0], &[-1.0]]), vec![0.0, 0.0]),
+                AffinePair::new(Matrix::from_rows(&[&[1.0, 1.0]]), vec![-0.6]),
+            ],
+        )
+    }
+
+    fn random_net(seed: u64, dims: &[usize]) -> CanonicalNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut layers = Vec::new();
+        for w in dims.windows(2) {
+            let m = Matrix::from_fn(w[1], w[0], |_, _| rng.gen_range(-1.0..1.0));
+            let b: Vec<f64> = (0..w[1]).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            layers.push(AffinePair::new(m, b));
+        }
+        CanonicalNetwork::from_affine_pairs(dims[0], layers)
+    }
+
+    #[test]
+    fn lp_at_least_as_tight_as_deeppoly() {
+        for seed in 0..6 {
+            let net = random_net(seed, &[3, 5, 4, 2]);
+            let region = InputBox::new(vec![-0.4; 3], vec![0.4; 3]);
+            let dp = DeepPoly::new().analyze(&net, &region, &SplitSet::new());
+            let lp = LpVerifier::new().analyze(&net, &region, &SplitSet::new());
+            assert!(
+                lp.p_hat >= dp.p_hat - 1e-6,
+                "seed {seed}: lp {} < dp {}",
+                lp.p_hat,
+                dp.p_hat
+            );
+        }
+    }
+
+    #[test]
+    fn lp_is_sound() {
+        for seed in 10..14 {
+            let net = random_net(seed, &[3, 5, 3, 2]);
+            let region = InputBox::new(vec![-0.5; 3], vec![0.5; 3]);
+            let a = LpVerifier::new().analyze(&net, &region, &SplitSet::new());
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xBB);
+            for _ in 0..30 {
+                let x: Vec<f64> = (0..3).map(|_| rng.gen_range(-0.5..0.5)).collect();
+                let min_y = net
+                    .forward(&x)
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
+                assert!(a.p_hat <= min_y + 1e-6, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn lp_candidate_lies_in_region() {
+        let net = v_net();
+        let region = InputBox::new(vec![-1.0], vec![1.0]);
+        let a = LpVerifier::new().analyze(&net, &region, &SplitSet::new());
+        if let Some(c) = &a.candidate {
+            assert!(region.contains(c, 1e-6));
+        }
+        // On the V example the LP relaxation still cannot prove more than
+        // the true minimum of −0.6.
+        assert!(a.p_hat <= -0.6 + 1e-6);
+    }
+
+    #[test]
+    fn fully_split_problem_is_exact() {
+        // Splitting the only unstable layer completely makes the LP exact:
+        // on x >= 0 the network is y = x - 0.6 with minimum -0.6.
+        let net = v_net();
+        let region = InputBox::new(vec![-1.0], vec![1.0]);
+        let splits = SplitSet::new()
+            .with(NeuronId::new(0, 0), SplitSign::Pos)
+            .with(NeuronId::new(0, 1), SplitSign::Neg);
+        let a = LpVerifier::new().analyze(&net, &region, &splits);
+        assert!((a.p_hat + 0.6).abs() < 1e-6, "p_hat = {}", a.p_hat);
+    }
+}

@@ -1,0 +1,170 @@
+//! ReLU relaxations under (possibly split) pre-activation bounds.
+
+use crate::types::SplitSign;
+
+/// Linear relaxation of one ReLU neuron `a = max(0, z)` over pre-activation
+/// bounds `z ∈ [l, u]`:
+///
+/// * lower: `a ≥ lower_slope · z` (intercept is always zero);
+/// * upper: `a ≤ upper_slope · z + upper_intercept`.
+///
+/// Stable neurons (and split neurons) degenerate to exact linear maps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReluRelaxation {
+    /// Slope of the lower linear bound.
+    pub lower_slope: f64,
+    /// Slope of the upper linear bound.
+    pub upper_slope: f64,
+    /// Intercept of the upper linear bound.
+    pub upper_intercept: f64,
+}
+
+impl ReluRelaxation {
+    /// Builds the relaxation for bounds `[l, u]` (already tightened by any
+    /// split constraint) with lower slope `alpha` for the unstable case.
+    ///
+    /// `alpha` is only consulted when the neuron is unstable
+    /// (`l < 0 < u`); DeepPoly's adaptive choice is
+    /// [`ReluRelaxation::deeppoly_alpha`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_alpha(l: f64, u: f64, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        if l >= 0.0 {
+            // Stable active: a = z exactly.
+            Self {
+                lower_slope: 1.0,
+                upper_slope: 1.0,
+                upper_intercept: 0.0,
+            }
+        } else if u <= 0.0 {
+            // Stable inactive: a = 0 exactly.
+            Self {
+                lower_slope: 0.0,
+                upper_slope: 0.0,
+                upper_intercept: 0.0,
+            }
+        } else {
+            // Unstable: triangle upper bound, slope-alpha lower bound.
+            let s = u / (u - l);
+            Self {
+                lower_slope: alpha,
+                upper_slope: s,
+                upper_intercept: -s * l,
+            }
+        }
+    }
+
+    /// DeepPoly's adaptive lower-slope choice: `1` when `u ≥ −l` (the
+    /// identity bound wastes less area), else `0`.
+    #[must_use]
+    pub fn deeppoly_alpha(l: f64, u: f64) -> f64 {
+        if u >= -l {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// The DeepPoly relaxation for bounds `[l, u]`.
+    #[must_use]
+    pub fn deeppoly(l: f64, u: f64) -> Self {
+        Self::with_alpha(l, u, Self::deeppoly_alpha(l, u))
+    }
+
+    /// Evaluates the lower linear bound at `z`.
+    #[must_use]
+    pub fn lower_at(&self, z: f64) -> f64 {
+        self.lower_slope * z
+    }
+
+    /// Evaluates the upper linear bound at `z`.
+    #[must_use]
+    pub fn upper_at(&self, z: f64) -> f64 {
+        self.upper_slope * z + self.upper_intercept
+    }
+}
+
+/// Tightens pre-activation bounds `[l, u]` with a split constraint.
+///
+/// `Pos` intersects with `[0, ∞)`, `Neg` with `(−∞, 0]`. The result may be
+/// empty (`l > u`), which signals an infeasible sub-problem.
+#[must_use]
+pub fn apply_split(l: f64, u: f64, sign: Option<SplitSign>) -> (f64, f64) {
+    match sign {
+        None => (l, u),
+        Some(SplitSign::Pos) => (l.max(0.0), u),
+        Some(SplitSign::Neg) => (l, u.min(0.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stable_active_is_identity() {
+        let r = ReluRelaxation::deeppoly(0.5, 2.0);
+        assert_eq!(r.lower_at(1.0), 1.0);
+        assert_eq!(r.upper_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn stable_inactive_is_zero() {
+        let r = ReluRelaxation::deeppoly(-2.0, -0.5);
+        assert_eq!(r.lower_at(-1.0), 0.0);
+        assert_eq!(r.upper_at(-1.0), 0.0);
+    }
+
+    #[test]
+    fn unstable_upper_bound_passes_through_corners() {
+        let (l, u) = (-1.0, 3.0);
+        let r = ReluRelaxation::deeppoly(l, u);
+        // Upper bound is the chord from (l, 0) to (u, u).
+        assert!((r.upper_at(l) - 0.0).abs() < 1e-12);
+        assert!((r.upper_at(u) - u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_alpha_switches_at_symmetry() {
+        assert_eq!(ReluRelaxation::deeppoly_alpha(-1.0, 2.0), 1.0);
+        assert_eq!(ReluRelaxation::deeppoly_alpha(-2.0, 1.0), 0.0);
+        assert_eq!(ReluRelaxation::deeppoly_alpha(-1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn split_tightening() {
+        assert_eq!(apply_split(-1.0, 2.0, Some(SplitSign::Pos)), (0.0, 2.0));
+        assert_eq!(apply_split(-1.0, 2.0, Some(SplitSign::Neg)), (-1.0, 0.0));
+        assert_eq!(apply_split(-1.0, 2.0, None), (-1.0, 2.0));
+        // Split can empty the interval — callers must detect this.
+        let (l, u) = apply_split(0.5, 2.0, Some(SplitSign::Neg));
+        assert!(l > u);
+    }
+
+    proptest! {
+        /// The relaxation must sandwich the true ReLU on the whole interval.
+        #[test]
+        fn relaxation_is_sound(
+            l in -5.0..0.0_f64,
+            width in 0.01..10.0_f64,
+            alpha in 0.0..1.0_f64,
+            t in 0.0..1.0_f64,
+        ) {
+            let u = l + width;
+            let r = ReluRelaxation::with_alpha(l, u, alpha);
+            let z = l + t * (u - l);
+            let relu = z.max(0.0);
+            prop_assert!(r.lower_at(z) <= relu + 1e-9,
+                "lower {} above relu {relu} at z={z}", r.lower_at(z));
+            if u > 0.0 && l < 0.0 {
+                prop_assert!(r.upper_at(z) >= relu - 1e-9,
+                    "upper {} below relu {relu} at z={z}", r.upper_at(z));
+            }
+        }
+    }
+}

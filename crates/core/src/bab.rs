@@ -1,0 +1,223 @@
+//! The BaB-baseline: classical breadth-first branch and bound (§III).
+//!
+//! Sub-problems are visited strictly first-come-first-served: pop a split
+//! set, apply `AppVer`, conclude/skip/split, push the two children at the
+//! back of the queue. This reproduces the paper's "naive" exploration
+//! order that ABONN improves on.
+
+use crate::driver::{
+    check_candidate, resolve_exhausted_leaf, Budget, Clock, RunResult, RunStats, Verdict, Verifier,
+};
+use crate::heuristics::{BranchContext, HeuristicKind};
+use crate::spec::RobustnessProblem;
+use abonn_bound::{AppVer, DeepPoly, SplitSet, SplitSign};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Breadth-first BaB, the paper's `BaB-baseline`.
+///
+/// Shares the approximated verifier and the branching heuristic with
+/// [`AbonnVerifier`](crate::AbonnVerifier), so measured differences come
+/// from the exploration order alone.
+#[derive(Clone)]
+pub struct BabBaseline {
+    /// Branching heuristic `H` (same default as ABONN).
+    pub heuristic: HeuristicKind,
+    /// PGD polish steps for spurious candidates (0 = paper-plain).
+    pub refine_steps: usize,
+    appver: Arc<dyn AppVer>,
+}
+
+impl Default for BabBaseline {
+    fn default() -> Self {
+        Self {
+            heuristic: HeuristicKind::DeepSplit,
+            refine_steps: 0,
+            appver: Arc::new(DeepPoly::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for BabBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BabBaseline")
+            .field("heuristic", &self.heuristic)
+            .field("appver", &self.appver.name())
+            .finish()
+    }
+}
+
+impl BabBaseline {
+    /// Creates a baseline with an explicit verifier and heuristic.
+    #[must_use]
+    pub fn new(heuristic: HeuristicKind, appver: Arc<dyn AppVer>) -> Self {
+        Self {
+            heuristic,
+            refine_steps: 0,
+            appver,
+        }
+    }
+}
+
+impl Verifier for BabBaseline {
+    fn verify(&self, problem: &RobustnessProblem, budget: &Budget) -> RunResult {
+        let mut clock = Clock::new(*budget);
+        let heuristic = self.heuristic.build(problem.margin_net());
+        let mut queue: VecDeque<SplitSet> = VecDeque::from([SplitSet::new()]);
+        let mut nodes_visited = 0usize;
+        let mut tree_size = 1usize;
+        let mut max_depth = 0usize;
+
+        let finish = |verdict: Verdict, clock: &Clock, visited, tree_size, max_depth| RunResult {
+            verdict,
+            stats: RunStats {
+                appver_calls: clock.appver_calls,
+                nodes_visited: visited,
+                tree_size,
+                max_depth,
+                wall: clock.elapsed(),
+            },
+        };
+
+        while let Some(splits) = queue.pop_front() {
+            if clock.exhausted() {
+                return finish(
+                    Verdict::Timeout,
+                    &clock,
+                    nodes_visited,
+                    tree_size,
+                    max_depth,
+                );
+            }
+            nodes_visited += 1;
+            max_depth = max_depth.max(splits.len());
+            clock.appver_calls += 1;
+            let analysis = self
+                .appver
+                .analyze(problem.margin_net(), problem.region(), &splits);
+            if analysis.verified() {
+                continue;
+            }
+            if let Some(w) = check_candidate(problem, &analysis, self.refine_steps) {
+                return finish(
+                    Verdict::Falsified(w),
+                    &clock,
+                    nodes_visited,
+                    tree_size,
+                    max_depth,
+                );
+            }
+            let ctx = BranchContext {
+                net: problem.margin_net(),
+                analysis: &analysis,
+                splits: &splits,
+            };
+            match heuristic.select(&ctx) {
+                Some(neuron) => {
+                    tree_size += 2;
+                    queue.push_back(splits.with(neuron, SplitSign::Pos));
+                    queue.push_back(splits.with(neuron, SplitSign::Neg));
+                }
+                None => {
+                    // Fully split: resolve exactly with the LP.
+                    if let Some(w) = resolve_exhausted_leaf(problem, &splits, &mut clock) {
+                        return finish(
+                            Verdict::Falsified(w),
+                            &clock,
+                            nodes_visited,
+                            tree_size,
+                            max_depth,
+                        );
+                    }
+                }
+            }
+        }
+        finish(
+            Verdict::Verified,
+            &clock,
+            nodes_visited,
+            tree_size,
+            max_depth,
+        )
+    }
+
+    fn name(&self) -> String {
+        format!("BaB-baseline({})", self.appver.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abonn_nn::{Layer, Network, Shape};
+    use abonn_tensor::Matrix;
+
+    fn relu_compare_net() -> Network {
+        Network::new(
+            Shape::Flat(2),
+            vec![
+                Layer::dense(
+                    Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, -1.0], &[-1.0, 1.0]]),
+                    vec![0.0, 0.0, 0.0, 0.0],
+                ),
+                Layer::relu(),
+                Layer::dense(
+                    Matrix::from_rows(&[&[1.0, 0.0, 0.5, 0.0], &[0.0, 1.0, 0.0, 0.5]]),
+                    vec![0.0, 0.0],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn verifies_robust_instance() {
+        let net = relu_compare_net();
+        let p = RobustnessProblem::new(&net, vec![0.8, 0.2], 0, 0.02).unwrap();
+        let r = BabBaseline::default().verify(&p, &Budget::with_appver_calls(300));
+        assert_eq!(r.verdict, Verdict::Verified);
+    }
+
+    #[test]
+    fn falsifies_vulnerable_instance_with_valid_witness() {
+        let net = relu_compare_net();
+        let p = RobustnessProblem::new(&net, vec![0.55, 0.45], 0, 0.2).unwrap();
+        let r = BabBaseline::default().verify(&p, &Budget::with_appver_calls(500));
+        match r.verdict {
+            Verdict::Falsified(w) => assert!(p.validate_witness(&w)),
+            v => panic!("expected falsification, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_abonn_when_both_finish() {
+        use crate::mcts::AbonnVerifier;
+        let net = relu_compare_net();
+        let budget = Budget::with_appver_calls(1_000);
+        for (x0, eps) in [
+            (vec![0.8, 0.2], 0.02),
+            (vec![0.7, 0.3], 0.1),
+            (vec![0.55, 0.45], 0.2),
+            (vec![0.6, 0.4], 0.05),
+        ] {
+            let p = RobustnessProblem::new(&net, x0.clone(), 0, eps).unwrap();
+            let a = AbonnVerifier::default().verify(&p, &budget);
+            let b = BabBaseline::default().verify(&p, &budget);
+            if a.verdict.is_solved() && b.verdict.is_solved() {
+                assert_eq!(
+                    matches!(a.verdict, Verdict::Verified),
+                    matches!(b.verdict, Verdict::Verified),
+                    "disagreement at x0 = {x0:?}, eps = {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_reports_partial_stats() {
+        let net = relu_compare_net();
+        let p = RobustnessProblem::new(&net, vec![0.52, 0.48], 0, 0.06).unwrap();
+        let r = BabBaseline::default().verify(&p, &Budget::with_appver_calls(1));
+        assert!(r.stats.appver_calls <= 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! Checkable verification certificates.
+//!
+//! A `Verified` verdict from branch and bound is a claim about an
+//! exponentially large case split. This module makes the claim
+//! *auditable*: ABONN can export the branch tree it closed as a
+//! [`Certificate`], and an independent party re-establishes the result by
+//! walking the tree — each [`ProofNode::Branch`] splits a ReLU into its
+//! two (exhaustive) phases, and each [`ProofNode::Leaf`] must be verified
+//! by whatever sound `AppVer` the checker trusts. Coverage is guaranteed
+//! structurally: `r⁺ ∪ r⁻` is the whole region, so only the leaf checks
+//! need to be believed. This mirrors the proof-production efforts around
+//! VNN-COMP.
+
+use crate::spec::RobustnessProblem;
+use abonn_bound::{AppVer, NeuronId, SplitSet, SplitSign};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// One node of the proof tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProofNode {
+    /// The sub-problem at this path is claimed verifiable by a single
+    /// `AppVer` call.
+    Leaf,
+    /// Case split on one ReLU's phase.
+    Branch {
+        /// The split neuron.
+        neuron: NeuronId,
+        /// Subtree under `r⁺` (pre-activation ≥ 0).
+        pos: Box<ProofNode>,
+        /// Subtree under `r⁻` (pre-activation ≤ 0).
+        neg: Box<ProofNode>,
+    },
+}
+
+impl ProofNode {
+    /// Number of leaves below this node (inclusive).
+    #[must_use]
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            ProofNode::Leaf => 1,
+            ProofNode::Branch { pos, neg, .. } => pos.num_leaves() + neg.num_leaves(),
+        }
+    }
+
+    /// Height of the subtree (a leaf has depth 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            ProofNode::Leaf => 0,
+            ProofNode::Branch { pos, neg, .. } => 1 + pos.depth().max(neg.depth()),
+        }
+    }
+}
+
+/// A verification certificate: the closed BaB branch tree.
+///
+/// # Examples
+///
+/// ```
+/// use abonn_core::{AbonnVerifier, Budget, RobustnessProblem};
+/// use abonn_bound::{Cascade, AppVer};
+/// use abonn_nn::{Layer, Network, Shape};
+/// use abonn_tensor::Matrix;
+///
+/// let net = Network::new(
+///     Shape::Flat(2),
+///     vec![
+///         Layer::dense(Matrix::from_rows(&[&[1.0, 1.0], &[-1.0, -1.0]]), vec![0.0, 0.4]),
+///         Layer::relu(),
+///         Layer::dense(Matrix::identity(2), vec![0.0, 0.0]),
+///     ],
+/// )?;
+/// let problem = RobustnessProblem::new(&net, vec![0.5, 0.5], 0, 0.05)?;
+/// let (result, certificate) =
+///     AbonnVerifier::default().verify_with_certificate(&problem, &Budget::with_appver_calls(200));
+/// let certificate = certificate.expect("verified runs produce certificates");
+/// certificate.check(&problem, &Cascade::standard())?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    root: ProofNode,
+}
+
+/// Why a certificate failed to check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertificateError {
+    /// A leaf's sub-problem could not be verified by the checking
+    /// verifier.
+    LeafNotVerified {
+        /// Path to the failing leaf as `(neuron, sign)` pairs.
+        path: Vec<(NeuronId, SplitSign)>,
+        /// The checker's `p̂` at the leaf.
+        p_hat: f64,
+    },
+    /// A branch re-splits a neuron already fixed on its path.
+    DuplicateSplit(NeuronId),
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::LeafNotVerified { path, p_hat } => {
+                write!(
+                    f,
+                    "leaf at depth {} not verified (p_hat = {p_hat})",
+                    path.len()
+                )
+            }
+            CertificateError::DuplicateSplit(n) => {
+                write!(f, "neuron {n} split twice on one path")
+            }
+        }
+    }
+}
+
+impl Error for CertificateError {}
+
+/// Statistics from a successful [`Certificate::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Leaves re-verified.
+    pub leaves: usize,
+    /// Height of the proof tree.
+    pub depth: usize,
+}
+
+impl Certificate {
+    /// Wraps a proof tree.
+    #[must_use]
+    pub fn new(root: ProofNode) -> Self {
+        Self { root }
+    }
+
+    /// The proof tree.
+    #[must_use]
+    pub fn root(&self) -> &ProofNode {
+        &self.root
+    }
+
+    /// Number of leaf obligations.
+    #[must_use]
+    pub fn num_leaves(&self) -> usize {
+        self.root.num_leaves()
+    }
+
+    /// Height of the proof tree.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Re-establishes the `Verified` verdict: walks the tree and checks
+    /// every leaf with `verifier`.
+    ///
+    /// Soundness of the conclusion only depends on the soundness of
+    /// `verifier` — the branch structure covers the region by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertificateError`] for an unverifiable leaf or a
+    /// malformed path.
+    pub fn check(
+        &self,
+        problem: &RobustnessProblem,
+        verifier: &dyn AppVer,
+    ) -> Result<CheckStats, CertificateError> {
+        let mut leaves = 0usize;
+        check_node(
+            &self.root,
+            problem,
+            verifier,
+            &SplitSet::new(),
+            &mut Vec::new(),
+            &mut leaves,
+        )?;
+        Ok(CheckStats {
+            leaves,
+            depth: self.depth(),
+        })
+    }
+}
+
+fn check_node(
+    node: &ProofNode,
+    problem: &RobustnessProblem,
+    verifier: &dyn AppVer,
+    splits: &SplitSet,
+    path: &mut Vec<(NeuronId, SplitSign)>,
+    leaves: &mut usize,
+) -> Result<(), CertificateError> {
+    match node {
+        ProofNode::Leaf => {
+            let analysis = verifier.analyze(problem.margin_net(), problem.region(), splits);
+            if !analysis.verified() {
+                return Err(CertificateError::LeafNotVerified {
+                    path: path.clone(),
+                    p_hat: analysis.p_hat,
+                });
+            }
+            *leaves += 1;
+            Ok(())
+        }
+        ProofNode::Branch { neuron, pos, neg } => {
+            if splits.sign_of(*neuron).is_some() {
+                return Err(CertificateError::DuplicateSplit(*neuron));
+            }
+            for (sign, child) in [(SplitSign::Pos, pos), (SplitSign::Neg, neg)] {
+                path.push((*neuron, sign));
+                check_node(
+                    child,
+                    problem,
+                    verifier,
+                    &splits.with(*neuron, sign),
+                    path,
+                    leaves,
+                )?;
+                path.pop();
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abonn_bound::DeepPoly;
+    use abonn_nn::{Layer, Network, Shape};
+    use abonn_tensor::Matrix;
+
+    fn robust_problem() -> RobustnessProblem {
+        let net = Network::new(
+            Shape::Flat(2),
+            vec![
+                Layer::dense(
+                    Matrix::from_rows(&[&[1.0, 1.0], &[-1.0, -1.0]]),
+                    vec![0.0, 0.4],
+                ),
+                Layer::relu(),
+                Layer::dense(Matrix::identity(2), vec![0.0, 0.0]),
+            ],
+        )
+        .unwrap();
+        RobustnessProblem::new(&net, vec![0.5, 0.5], 0, 0.05).unwrap()
+    }
+
+    #[test]
+    fn trivial_leaf_certificate_checks_on_robust_problem() {
+        let problem = robust_problem();
+        let cert = Certificate::new(ProofNode::Leaf);
+        let stats = cert.check(&problem, &DeepPoly::new()).unwrap();
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.depth, 0);
+    }
+
+    #[test]
+    fn leaf_certificate_fails_on_unverifiable_problem() {
+        // Radius large enough that a single DeepPoly call cannot verify.
+        let net = robust_problem().network().clone();
+        let problem = RobustnessProblem::new(&net, vec![0.5, 0.5], 0, 0.45).unwrap();
+        let cert = Certificate::new(ProofNode::Leaf);
+        assert!(matches!(
+            cert.check(&problem, &DeepPoly::new()),
+            Err(CertificateError::LeafNotVerified { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_split_is_rejected() {
+        let problem = robust_problem();
+        let n = NeuronId::new(0, 0);
+        let inner = ProofNode::Branch {
+            neuron: n,
+            pos: Box::new(ProofNode::Leaf),
+            neg: Box::new(ProofNode::Leaf),
+        };
+        let cert = Certificate::new(ProofNode::Branch {
+            neuron: n,
+            pos: Box::new(inner.clone()),
+            neg: Box::new(inner),
+        });
+        assert_eq!(
+            cert.check(&problem, &DeepPoly::new()),
+            Err(CertificateError::DuplicateSplit(n))
+        );
+    }
+
+    #[test]
+    fn counts_and_serde_roundtrip() {
+        let cert = Certificate::new(ProofNode::Branch {
+            neuron: NeuronId::new(0, 1),
+            pos: Box::new(ProofNode::Leaf),
+            neg: Box::new(ProofNode::Branch {
+                neuron: NeuronId::new(1, 0),
+                pos: Box::new(ProofNode::Leaf),
+                neg: Box::new(ProofNode::Leaf),
+            }),
+        });
+        assert_eq!(cert.num_leaves(), 3);
+        assert_eq!(cert.depth(), 2);
+        let json = serde_json::to_string(&cert).unwrap();
+        let back: Certificate = serde_json::from_str(&json).unwrap();
+        assert_eq!(cert, back);
+    }
+}

@@ -1,0 +1,242 @@
+//! Shared verification-driver machinery: verdicts, budgets, statistics,
+//! and the [`Verifier`] trait all three approaches implement.
+
+use crate::spec::RobustnessProblem;
+use abonn_attack::Pgd;
+use abonn_bound::{Analysis, AppVer, LpVerifier, SplitSet};
+use std::time::{Duration, Instant};
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The specification holds on the whole region.
+    Verified,
+    /// A concrete counterexample was found (carried as the witness).
+    Falsified(Vec<f64>),
+    /// The budget ran out before a conclusion.
+    Timeout,
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Verified`] or [`Verdict::Falsified`].
+    #[must_use]
+    pub fn is_solved(&self) -> bool {
+        !matches!(self, Verdict::Timeout)
+    }
+}
+
+/// Resource budget for a run.
+///
+/// The primary, machine-independent budget is the number of `AppVer`
+/// calls — each call is the "expensive process of problem solving" the
+/// paper counts; the optional wall-clock limit mirrors the paper's 1000 s
+/// timeout for real-time measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    /// Maximum number of approximated-verifier calls.
+    pub max_appver_calls: usize,
+    /// Optional wall-clock limit.
+    pub wall_limit: Option<Duration>,
+}
+
+impl Budget {
+    /// Budget capped at `n` verifier calls (no wall-clock limit).
+    #[must_use]
+    pub fn with_appver_calls(n: usize) -> Self {
+        Self {
+            max_appver_calls: n,
+            wall_limit: None,
+        }
+    }
+
+    /// Adds a wall-clock limit to the budget.
+    #[must_use]
+    pub fn and_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
+        self
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::with_appver_calls(2_000)
+    }
+}
+
+/// Counters describing how a run spent its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunStats {
+    /// Approximated-verifier invocations (the paper's cost unit).
+    pub appver_calls: usize,
+    /// Sub-problems whose analysis was inspected (tree nodes visited).
+    pub nodes_visited: usize,
+    /// Total BaB tree size at termination (Fig. 3's metric).
+    pub tree_size: usize,
+    /// Deepest split sequence reached.
+    pub max_depth: usize,
+    /// Measured wall time.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} AppVer calls, {} nodes visited, tree size {}, depth {}, {:.3}s",
+            self.appver_calls,
+            self.nodes_visited,
+            self.tree_size,
+            self.max_depth,
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+/// Verdict plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The verification outcome.
+    pub verdict: Verdict,
+    /// Budget usage counters.
+    pub stats: RunStats,
+}
+
+/// A complete verification approach (ABONN or a baseline).
+pub trait Verifier {
+    /// Runs the approach on `problem` under `budget`.
+    fn verify(&self, problem: &RobustnessProblem, budget: &Budget) -> RunResult;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// Budget bookkeeping shared by the three approaches.
+#[derive(Debug)]
+pub(crate) struct Clock {
+    start: Instant,
+    budget: Budget,
+    pub appver_calls: usize,
+}
+
+impl Clock {
+    pub fn new(budget: Budget) -> Self {
+        Self {
+            start: Instant::now(),
+            budget,
+            appver_calls: 0,
+        }
+    }
+
+    /// Returns `true` once any budget dimension is exhausted.
+    pub fn exhausted(&self) -> bool {
+        if self.appver_calls >= self.budget.max_appver_calls {
+            return true;
+        }
+        match self.budget.wall_limit {
+            Some(limit) => self.start.elapsed() >= limit,
+            None => false,
+        }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Validates an analysis candidate against the concrete network, optionally
+/// polishing it with a few PGD steps first (`refine_steps > 0`).
+///
+/// Returns a confirmed witness, or `None` for a false alarm.
+pub(crate) fn check_candidate(
+    problem: &RobustnessProblem,
+    analysis: &Analysis,
+    refine_steps: usize,
+) -> Option<Vec<f64>> {
+    let candidate = analysis.candidate.as_ref()?;
+    if problem.validate_witness(candidate) {
+        return Some(candidate.clone());
+    }
+    if refine_steps > 0 {
+        // Label-guided refinement only applies to classification problems.
+        if let Some(label) = problem.label() {
+            let pgd = Pgd::new(refine_steps, 0, 0.25, 0);
+            let lo = problem.region().lo();
+            let hi = problem.region().hi();
+            if let Some(w) = pgd.refine(problem.network(), label, candidate, lo, hi) {
+                debug_assert!(problem.validate_witness(&w));
+                return Some(w);
+            }
+        }
+    }
+    None
+}
+
+/// Exactly resolves a fully-split leaf (no unstable neurons remain).
+///
+/// With every ReLU phase fixed the triangle LP relaxation is exact, so the
+/// verdict is definitive: either the leaf region is safe/infeasible
+/// (`None`) or the LP optimum yields a concrete witness (`Some`).
+///
+/// A numerically marginal LP violation whose witness fails concrete
+/// validation is treated as safe — the violation magnitude is below
+/// validation tolerance in that case.
+pub(crate) fn resolve_exhausted_leaf(
+    problem: &RobustnessProblem,
+    splits: &SplitSet,
+    clock: &mut Clock,
+) -> Option<Vec<f64>> {
+    let lp = LpVerifier::new();
+    clock.appver_calls += 1;
+    let analysis = lp.analyze(problem.margin_net(), problem.region(), splits);
+    if analysis.verified() {
+        return None;
+    }
+    check_candidate(problem, &analysis, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_solved_classification() {
+        assert!(Verdict::Verified.is_solved());
+        assert!(Verdict::Falsified(vec![0.0]).is_solved());
+        assert!(!Verdict::Timeout.is_solved());
+    }
+
+    #[test]
+    fn clock_counts_appver_calls() {
+        let mut clock = Clock::new(Budget::with_appver_calls(2));
+        assert!(!clock.exhausted());
+        clock.appver_calls = 2;
+        assert!(clock.exhausted());
+    }
+
+    #[test]
+    fn wall_limit_expires() {
+        let clock = Clock::new(Budget::with_appver_calls(1000).and_wall_limit(Duration::ZERO));
+        assert!(clock.exhausted());
+    }
+
+    #[test]
+    fn run_stats_display_is_informative() {
+        let stats = RunStats {
+            appver_calls: 12,
+            nodes_visited: 6,
+            tree_size: 11,
+            max_depth: 3,
+            wall: Duration::from_millis(1500),
+        };
+        let text = stats.to_string();
+        assert!(text.contains("12 AppVer calls"));
+        assert!(text.contains("1.500s"));
+    }
+
+    #[test]
+    fn default_budget_is_bounded() {
+        let b = Budget::default();
+        assert!(b.max_appver_calls > 0);
+        assert!(b.wall_limit.is_none());
+    }
+}

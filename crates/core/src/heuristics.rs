@@ -1,0 +1,340 @@
+//! ReLU selection (branching) heuristics — the `H` of Algorithm 1.
+//!
+//! ABONN is orthogonal to the branching heuristic (§VI of the paper): it
+//! changes *which sub-problem to visit next*, not *how a sub-problem is
+//! split*. Following the paper we default to a DeepSplit-style
+//! indirect-effect score, and also provide the classic BaBSR score, a
+//! max-range baseline, and a seeded random pick for ablations.
+
+use abonn_bound::{Analysis, NeuronId, SplitSet};
+use abonn_nn::CanonicalNetwork;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Everything a heuristic may consult when picking the next ReLU to split.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchContext<'a> {
+    /// The margin-form network under verification.
+    pub net: &'a CanonicalNetwork,
+    /// The verifier's analysis of the current sub-problem.
+    pub analysis: &'a Analysis,
+    /// The current split set `Γ`.
+    pub splits: &'a SplitSet,
+}
+
+/// A ReLU selection heuristic.
+pub trait BranchingHeuristic: Send + Sync {
+    /// Picks the neuron to split, or `None` when no unstable unsplit
+    /// neuron remains.
+    fn select(&self, ctx: &BranchContext<'_>) -> Option<NeuronId>;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Serializable choice of heuristic, turned into a concrete instance per
+/// problem with [`HeuristicKind::build`] (score tables are precomputed per
+/// network).
+///
+/// # Examples
+///
+/// ```
+/// use abonn_core::heuristics::HeuristicKind;
+/// use abonn_nn::{AffinePair, CanonicalNetwork};
+/// use abonn_tensor::Matrix;
+///
+/// let net = CanonicalNetwork::from_affine_pairs(2, vec![
+///     AffinePair::new(Matrix::identity(2), vec![0.0; 2]),
+///     AffinePair::new(Matrix::from_rows(&[&[1.0, -1.0]]), vec![0.0]),
+/// ]);
+/// let heuristic = HeuristicKind::DeepSplit.build(&net);
+/// assert_eq!(heuristic.name(), "deepsplit");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// DeepSplit-style indirect-effect score (the paper's default).
+    DeepSplit,
+    /// BaBSR-style relaxation-intercept score.
+    Babsr,
+    /// Widest unstable interval.
+    MaxRange,
+    /// Deterministic pseudo-random pick (for ablations).
+    Random(u64),
+}
+
+impl HeuristicKind {
+    /// Instantiates the heuristic for `net`.
+    #[must_use]
+    pub fn build(&self, net: &CanonicalNetwork) -> Box<dyn BranchingHeuristic> {
+        match self {
+            HeuristicKind::DeepSplit => Box::new(DeepSplitLike::for_network(net)),
+            HeuristicKind::Babsr => Box::new(BabsrScore::for_network(net)),
+            HeuristicKind::MaxRange => Box::new(MaxRange),
+            HeuristicKind::Random(seed) => Box::new(Random { seed: *seed }),
+        }
+    }
+}
+
+/// Per-neuron "influence" of each ReLU layer on the output: column sums of
+/// the product of absolute weight matrices from that layer to the output.
+/// A crude but effective stand-in for sensitivity/indirect-effect
+/// estimates, computable once per network.
+fn output_influence(net: &CanonicalNetwork) -> Vec<Vec<f64>> {
+    let layers = net.layers();
+    let mut influence = vec![Vec::new(); layers.len().saturating_sub(1)];
+    // v over the current stage's outputs, starting at the network output.
+    let last = layers.len() - 1;
+    let mut v = vec![1.0; layers[last].out_dim()];
+    for j in (0..last).rev() {
+        // Influence of a_j on the output goes through W_{j+1}.
+        let w = &layers[j + 1].weight;
+        let mut vj = vec![0.0; w.cols()];
+        for (r, &vr) in v.iter().enumerate() {
+            for (t, &wv) in w.row(r).iter().enumerate() {
+                vj[t] += vr * wv.abs();
+            }
+        }
+        influence[j] = vj.clone();
+        v = vj;
+    }
+    influence
+}
+
+/// Picks the unstable neuron maximising `score`; ties go to the earlier
+/// (layer, index).
+fn argmax_unstable(
+    ctx: &BranchContext<'_>,
+    mut score: impl FnMut(NeuronId, f64, f64) -> f64,
+) -> Option<NeuronId> {
+    let mut best: Option<(NeuronId, f64)> = None;
+    for id in ctx.analysis.unstable_neurons(ctx.splits) {
+        let lb = &ctx.analysis.bounds[id.layer];
+        let (l, u) = (lb.lower[id.index], lb.upper[id.index]);
+        let s = score(id, l, u);
+        match best {
+            Some((_, bs)) if bs >= s => {}
+            _ => best = Some((id, s)),
+        }
+    }
+    best.map(|(id, _)| id)
+}
+
+/// DeepSplit-style heuristic: scores each unstable ReLU by the estimated
+/// *indirect effect* of stabilising it — the relaxation triangle's area
+/// `½·(−l)·u` weighted by the neuron's influence on the output.
+#[derive(Debug, Clone)]
+pub struct DeepSplitLike {
+    influence: Vec<Vec<f64>>,
+}
+
+impl DeepSplitLike {
+    /// Precomputes influence tables for `net`.
+    #[must_use]
+    pub fn for_network(net: &CanonicalNetwork) -> Self {
+        Self {
+            influence: output_influence(net),
+        }
+    }
+}
+
+impl BranchingHeuristic for DeepSplitLike {
+    fn select(&self, ctx: &BranchContext<'_>) -> Option<NeuronId> {
+        argmax_unstable(ctx, |id, l, u| {
+            0.5 * (-l) * u * self.influence[id.layer][id.index]
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "deepsplit"
+    }
+}
+
+/// BaBSR-style heuristic: scores by the upper relaxation's intercept
+/// `u·(−l)/(u−l)` (the bound slack the split removes), influence-weighted.
+#[derive(Debug, Clone)]
+pub struct BabsrScore {
+    influence: Vec<Vec<f64>>,
+}
+
+impl BabsrScore {
+    /// Precomputes influence tables for `net`.
+    #[must_use]
+    pub fn for_network(net: &CanonicalNetwork) -> Self {
+        Self {
+            influence: output_influence(net),
+        }
+    }
+}
+
+impl BranchingHeuristic for BabsrScore {
+    fn select(&self, ctx: &BranchContext<'_>) -> Option<NeuronId> {
+        argmax_unstable(ctx, |id, l, u| {
+            let intercept = if u > l { u * (-l) / (u - l) } else { 0.0 };
+            intercept * self.influence[id.layer][id.index]
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "babsr"
+    }
+}
+
+/// Picks the unstable neuron whose interval reaches furthest into both
+/// phases (`min(−l, u)` maximal).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxRange;
+
+impl BranchingHeuristic for MaxRange {
+    fn select(&self, ctx: &BranchContext<'_>) -> Option<NeuronId> {
+        argmax_unstable(ctx, |_, l, u| (-l).min(u))
+    }
+
+    fn name(&self) -> &'static str {
+        "max-range"
+    }
+}
+
+/// Deterministic pseudo-random pick: hashes the split set and a seed so
+/// the same node always branches the same way within a run.
+#[derive(Debug, Clone, Copy)]
+pub struct Random {
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl BranchingHeuristic for Random {
+    fn select(&self, ctx: &BranchContext<'_>) -> Option<NeuronId> {
+        let unstable = ctx.analysis.unstable_neurons(ctx.splits);
+        if unstable.is_empty() {
+            return None;
+        }
+        let mut hasher = DefaultHasher::new();
+        self.seed.hash(&mut hasher);
+        for (n, s) in ctx.splits.iter() {
+            (n.layer, n.index, s == abonn_bound::SplitSign::Pos).hash(&mut hasher);
+        }
+        let pick = (hasher.finish() as usize) % unstable.len();
+        Some(unstable[pick])
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abonn_bound::{AppVer, DeepPoly, InputBox};
+    use abonn_nn::AffinePair;
+    use abonn_tensor::Matrix;
+
+    /// Two unstable neurons; neuron 1 has a much larger effect on the
+    /// output (weight 10 vs 0.1).
+    fn lopsided_net() -> CanonicalNetwork {
+        CanonicalNetwork::from_affine_pairs(
+            2,
+            vec![
+                AffinePair::new(Matrix::identity(2), vec![0.0, 0.0]),
+                AffinePair::new(Matrix::from_rows(&[&[0.1, 10.0]]), vec![-1.0]),
+            ],
+        )
+    }
+
+    fn analyze(net: &CanonicalNetwork) -> Analysis {
+        DeepPoly::new().analyze(
+            net,
+            &InputBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]),
+            &SplitSet::new(),
+        )
+    }
+
+    #[test]
+    fn influence_weighted_heuristics_prefer_the_heavy_neuron() {
+        let net = lopsided_net();
+        let analysis = analyze(&net);
+        let splits = SplitSet::new();
+        let ctx = BranchContext {
+            net: &net,
+            analysis: &analysis,
+            splits: &splits,
+        };
+        for kind in [HeuristicKind::DeepSplit, HeuristicKind::Babsr] {
+            let h = kind.build(&net);
+            assert_eq!(
+                h.select(&ctx),
+                Some(NeuronId::new(0, 1)),
+                "{} should pick the influential neuron",
+                h.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_heuristics_return_none_when_nothing_is_unstable() {
+        let net = lopsided_net();
+        let analysis = analyze(&net);
+        // Split both neurons: nothing left.
+        let splits = SplitSet::new()
+            .with(NeuronId::new(0, 0), abonn_bound::SplitSign::Pos)
+            .with(NeuronId::new(0, 1), abonn_bound::SplitSign::Neg);
+        let ctx = BranchContext {
+            net: &net,
+            analysis: &analysis,
+            splits: &splits,
+        };
+        for kind in [
+            HeuristicKind::DeepSplit,
+            HeuristicKind::Babsr,
+            HeuristicKind::MaxRange,
+            HeuristicKind::Random(1),
+        ] {
+            assert_eq!(kind.build(&net).select(&ctx), None);
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_node() {
+        let net = lopsided_net();
+        let analysis = analyze(&net);
+        let splits = SplitSet::new();
+        let ctx = BranchContext {
+            net: &net,
+            analysis: &analysis,
+            splits: &splits,
+        };
+        let h = HeuristicKind::Random(9).build(&net);
+        assert_eq!(h.select(&ctx), h.select(&ctx));
+    }
+
+    #[test]
+    fn max_range_prefers_balanced_wide_intervals() {
+        let net = lopsided_net();
+        // Fake analysis with controlled bounds: neuron 0 straddles widely,
+        // neuron 1 barely crosses zero.
+        let analysis = Analysis {
+            p_hat: -1.0,
+            candidate: None,
+            bounds: vec![
+                abonn_bound::LayerBounds::new(vec![-2.0, -0.1], vec![2.0, 0.1]),
+                abonn_bound::LayerBounds::new(vec![-1.0], vec![1.0]),
+            ],
+            infeasible: false,
+        };
+        let splits = SplitSet::new();
+        let ctx = BranchContext {
+            net: &net,
+            analysis: &analysis,
+            splits: &splits,
+        };
+        assert_eq!(MaxRange.select(&ctx), Some(NeuronId::new(0, 0)));
+    }
+
+    #[test]
+    fn influence_reflects_weight_magnitudes() {
+        let net = lopsided_net();
+        let inf = output_influence(&net);
+        assert_eq!(inf.len(), 1);
+        assert!(inf[0][1] > inf[0][0] * 50.0);
+    }
+}

@@ -1,0 +1,474 @@
+//! ABONN: the MCTS-style adaptive BaB verification algorithm
+//! (Algorithm 1 of the paper).
+//!
+//! Each iteration walks from the root towards an unexpanded node, choosing
+//! among expanded children by UCB1 over counterexample-potentiality
+//! rewards, then expands the reached node (two `AppVer` calls, one per
+//! ReLU phase), validates any candidate counterexamples, and
+//! back-propagates rewards and subtree sizes to the root. Termination:
+//! a validated counterexample (`false`), a fully closed root (`true`), or
+//! budget exhaustion (`timeout`).
+//!
+//! Deviations from the paper's pseudocode (reward propagation after the
+//! recursive call, skipping closed subtrees, exact-LP leaf resolution) are
+//! documented in `DESIGN.md` §3.
+
+use crate::certificate::{Certificate, ProofNode};
+use crate::driver::{
+    check_candidate, resolve_exhausted_leaf, Budget, Clock, RunResult, RunStats, Verdict, Verifier,
+};
+use crate::heuristics::{BranchContext, HeuristicKind};
+use crate::potentiality::{potentiality, ucb1, NodeOutcome};
+use crate::spec::RobustnessProblem;
+use crate::tree::{BabTree, NodeId, NodeState};
+use abonn_bound::{Analysis, AppVer, DeepPoly, SplitSet, SplitSign};
+use std::sync::Arc;
+
+/// Hyperparameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbonnConfig {
+    /// λ — weight between node depth and `p̂` in counterexample
+    /// potentiality (paper default 0.5).
+    pub lambda: f64,
+    /// c — UCB1 exploration constant (paper default 0.2).
+    pub c: f64,
+    /// PGD polish steps applied to spurious candidates before declaring a
+    /// false alarm (0 reproduces the paper's plain `valid(x̂)` check).
+    pub refine_steps: usize,
+    /// Branching heuristic `H`.
+    pub heuristic: HeuristicKind,
+}
+
+impl Default for AbonnConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 0.5,
+            c: 0.2,
+            refine_steps: 0,
+            heuristic: HeuristicKind::DeepSplit,
+        }
+    }
+}
+
+/// The ABONN verifier.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Clone)]
+pub struct AbonnVerifier {
+    /// Algorithm hyperparameters.
+    pub config: AbonnConfig,
+    appver: Arc<dyn AppVer>,
+}
+
+impl Default for AbonnVerifier {
+    fn default() -> Self {
+        Self {
+            config: AbonnConfig::default(),
+            appver: Arc::new(DeepPoly::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for AbonnVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AbonnVerifier")
+            .field("config", &self.config)
+            .field("appver", &self.appver.name())
+            .finish()
+    }
+}
+
+impl AbonnVerifier {
+    /// Creates an ABONN verifier with the given configuration and
+    /// approximated verifier.
+    #[must_use]
+    pub fn new(config: AbonnConfig, appver: Arc<dyn AppVer>) -> Self {
+        Self { config, appver }
+    }
+
+    /// Convenience constructor overriding only λ and c.
+    #[must_use]
+    pub fn with_hyperparameters(lambda: f64, c: f64) -> Self {
+        Self {
+            config: AbonnConfig {
+                lambda,
+                c,
+                ..AbonnConfig::default()
+            },
+            appver: Arc::new(DeepPoly::new()),
+        }
+    }
+}
+
+/// Outcome of evaluating one fresh child node.
+enum ChildEval {
+    /// Child verified (or infeasible): close it.
+    Closed,
+    /// Real counterexample found.
+    Witness(Vec<f64>),
+    /// False alarm: keep exploring below it.
+    FalseAlarm(Analysis),
+}
+
+struct Search<'p> {
+    problem: &'p RobustnessProblem,
+    config: AbonnConfig,
+    appver: Arc<dyn AppVer>,
+    heuristic: Box<dyn crate::heuristics::BranchingHeuristic>,
+    tree: BabTree,
+    /// Analyses of open nodes, dropped on expansion.
+    analyses: Vec<Option<Analysis>>,
+    clock: Clock,
+    nodes_visited: usize,
+}
+
+impl<'p> Search<'p> {
+    fn k_total(&self) -> usize {
+        self.problem.num_relu_neurons().max(1)
+    }
+
+    fn reward_of(&self, depth: usize, p_hat: f64) -> f64 {
+        potentiality(
+            NodeOutcome::FalseAlarm { p_hat },
+            depth,
+            self.k_total(),
+            self.tree.p_hat_min(),
+            self.config.lambda,
+        )
+    }
+
+    fn evaluate_child(&mut self, splits: &SplitSet) -> ChildEval {
+        self.clock.appver_calls += 1;
+        let analysis =
+            self.appver
+                .analyze(self.problem.margin_net(), self.problem.region(), splits);
+        if analysis.verified() {
+            return ChildEval::Closed;
+        }
+        if let Some(w) = check_candidate(self.problem, &analysis, self.config.refine_steps) {
+            return ChildEval::Witness(w);
+        }
+        ChildEval::FalseAlarm(analysis)
+    }
+
+    /// One MCTS iteration: select → expand → back-propagate.
+    ///
+    /// Returns `Some(witness)` when a counterexample is confirmed.
+    fn step(&mut self) -> Option<Vec<f64>> {
+        // Selection: descend through expanded nodes by UCB1.
+        let mut cur = NodeId::ROOT;
+        while self.tree.node(cur).state == NodeState::Expanded {
+            let (a, b) = self.tree.node(cur).children.expect("expanded node");
+            let parent_visits = self.tree.node(cur).subtree_size;
+            let score = |id: NodeId| {
+                let n = self.tree.node(id);
+                if n.state == NodeState::Closed {
+                    f64::NEG_INFINITY
+                } else {
+                    ucb1(n.reward, self.config.c, parent_visits, n.subtree_size)
+                }
+            };
+            let (sa, sb) = (score(a), score(b));
+            // Both closed would have closed `cur` during back-propagation.
+            cur = if sa >= sb { a } else { b };
+        }
+        self.nodes_visited += 1;
+
+        // Expansion of the reached open node.
+        let node_splits = self.tree.node(cur).splits.clone();
+        let analysis = self.analyses[cur.index()]
+            .take()
+            .expect("open node retains its analysis");
+        let ctx = BranchContext {
+            net: self.problem.margin_net(),
+            analysis: &analysis,
+            splits: &node_splits,
+        };
+        let Some(neuron) = self.heuristic.select(&ctx) else {
+            // Every unstable ReLU on this path is split: resolve exactly.
+            if let Some(w) = resolve_exhausted_leaf(self.problem, &node_splits, &mut self.clock) {
+                return Some(w);
+            }
+            self.tree.close(cur);
+            if let Some(parent) = self.tree.node(cur).parent {
+                self.tree.back_propagate(parent);
+            }
+            return None;
+        };
+
+        let mut child_results = Vec::with_capacity(2);
+        for sign in [SplitSign::Pos, SplitSign::Neg] {
+            let child_splits = node_splits.with(neuron, sign);
+            child_results.push(self.evaluate_child(&child_splits));
+        }
+        let p_hat_of = |r: &ChildEval| match r {
+            ChildEval::FalseAlarm(a) => a.p_hat,
+            _ => f64::INFINITY, // closed/witness children: p̂ unused below
+        };
+        let (pos_p, neg_p) = (p_hat_of(&child_results[0]), p_hat_of(&child_results[1]));
+        let (pos_id, neg_id) = self.tree.expand(cur, neuron, pos_p, neg_p);
+        self.analyses.resize(self.tree.len(), None);
+
+        let mut witness = None;
+        for (id, result) in [(pos_id, neg_id), (neg_id, pos_id)]
+            .iter()
+            .map(|&(id, _)| id)
+            .zip(child_results)
+        {
+            match result {
+                ChildEval::Closed => self.tree.close(id),
+                ChildEval::Witness(w) => {
+                    self.tree.node_mut(id).reward = f64::INFINITY;
+                    witness = Some(w);
+                }
+                ChildEval::FalseAlarm(a) => {
+                    let depth = self.tree.node(id).depth;
+                    self.tree.node_mut(id).reward = self.reward_of(depth, a.p_hat);
+                    self.analyses[id.index()] = Some(a);
+                }
+            }
+        }
+
+        // Back-propagation (rewards, visits, and closure) to the root.
+        self.tree.back_propagate(cur);
+        debug_assert_eq!(self.tree.check_invariants(), None);
+        witness
+    }
+}
+
+impl AbonnVerifier {
+    /// Like [`Verifier::verify`], additionally returning a checkable
+    /// [`Certificate`] when the verdict is [`Verdict::Verified`].
+    ///
+    /// The certificate is the closed branch tree: each leaf is one
+    /// sub-problem a sound `AppVer` verified, each branch an exhaustive
+    /// ReLU case split.
+    #[must_use]
+    pub fn verify_with_certificate(
+        &self,
+        problem: &RobustnessProblem,
+        budget: &Budget,
+    ) -> (RunResult, Option<Certificate>) {
+        self.verify_impl(problem, budget, true)
+    }
+
+    fn verify_impl(
+        &self,
+        problem: &RobustnessProblem,
+        budget: &Budget,
+        want_certificate: bool,
+    ) -> (RunResult, Option<Certificate>) {
+        let mut clock = Clock::new(*budget);
+
+        // Initialisation (Lines 1–9): analyze the root problem.
+        clock.appver_calls += 1;
+        let root_analysis =
+            self.appver
+                .analyze(problem.margin_net(), problem.region(), &SplitSet::new());
+        let stats = |clock: &Clock, tree: Option<&BabTree>, visited: usize| RunStats {
+            appver_calls: clock.appver_calls,
+            nodes_visited: visited,
+            tree_size: tree.map_or(1, BabTree::len),
+            max_depth: tree.map_or(0, BabTree::max_depth),
+            wall: clock.elapsed(),
+        };
+        if root_analysis.verified() {
+            let certificate = want_certificate.then(|| Certificate::new(ProofNode::Leaf));
+            return (
+                RunResult {
+                    verdict: Verdict::Verified,
+                    stats: stats(&clock, None, 1),
+                },
+                certificate,
+            );
+        }
+        if let Some(w) = check_candidate(problem, &root_analysis, self.config.refine_steps) {
+            return (
+                RunResult {
+                    verdict: Verdict::Falsified(w),
+                    stats: stats(&clock, None, 1),
+                },
+                None,
+            );
+        }
+
+        let tree = BabTree::new(root_analysis.p_hat);
+        let heuristic = self.config.heuristic.build(problem.margin_net());
+        let mut search = Search {
+            problem,
+            config: self.config,
+            appver: Arc::clone(&self.appver),
+            heuristic,
+            tree,
+            analyses: vec![Some(root_analysis)],
+            clock,
+            nodes_visited: 1,
+        };
+        let k = search.k_total();
+        let root_p = search.tree.node(NodeId::ROOT).p_hat;
+        search.tree.node_mut(NodeId::ROOT).reward = potentiality(
+            NodeOutcome::FalseAlarm { p_hat: root_p },
+            0,
+            k,
+            search.tree.p_hat_min(),
+            search.config.lambda,
+        );
+
+        // Main loop (Lines 4–7).
+        loop {
+            if search.tree.node(NodeId::ROOT).state == NodeState::Closed {
+                let certificate = want_certificate.then(|| certificate_from_tree(&search.tree));
+                return (
+                    RunResult {
+                        verdict: Verdict::Verified,
+                        stats: stats(&search.clock, Some(&search.tree), search.nodes_visited),
+                    },
+                    certificate,
+                );
+            }
+            if search.clock.exhausted() {
+                return (
+                    RunResult {
+                        verdict: Verdict::Timeout,
+                        stats: stats(&search.clock, Some(&search.tree), search.nodes_visited),
+                    },
+                    None,
+                );
+            }
+            if let Some(w) = search.step() {
+                return (
+                    RunResult {
+                        verdict: Verdict::Falsified(w),
+                        stats: stats(&search.clock, Some(&search.tree), search.nodes_visited),
+                    },
+                    None,
+                );
+            }
+        }
+    }
+}
+
+/// Converts the closed BaB tree into a proof tree.
+fn certificate_from_tree(tree: &crate::tree::BabTree) -> Certificate {
+    fn convert(tree: &crate::tree::BabTree, id: NodeId) -> ProofNode {
+        match tree.node(id).children {
+            None => ProofNode::Leaf,
+            Some((pos, neg)) => ProofNode::Branch {
+                neuron: tree
+                    .node(id)
+                    .branch_neuron
+                    .expect("expanded node records its neuron"),
+                pos: Box::new(convert(tree, pos)),
+                neg: Box::new(convert(tree, neg)),
+            },
+        }
+    }
+    Certificate::new(convert(tree, NodeId::ROOT))
+}
+
+impl Verifier for AbonnVerifier {
+    fn verify(&self, problem: &RobustnessProblem, budget: &Budget) -> RunResult {
+        self.verify_impl(problem, budget, false).0
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "ABONN(lambda={}, c={}, {})",
+            self.config.lambda,
+            self.config.c,
+            self.appver.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abonn_nn::{Layer, Network, Shape};
+    use abonn_tensor::Matrix;
+
+    /// Classifier with logits (x0, x1): class 0 iff x0 > x1, with one
+    /// hidden ReLU layer to give BaB something to split.
+    fn relu_compare_net() -> Network {
+        Network::new(
+            Shape::Flat(2),
+            vec![
+                Layer::dense(
+                    Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, -1.0], &[-1.0, 1.0]]),
+                    vec![0.0, 0.0, 0.0, 0.0],
+                ),
+                Layer::relu(),
+                Layer::dense(
+                    Matrix::from_rows(&[&[1.0, 0.0, 0.5, 0.0], &[0.0, 1.0, 0.0, 0.5]]),
+                    vec![0.0, 0.0],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn verifies_a_robust_instance() {
+        let net = relu_compare_net();
+        // Around (0.8, 0.2) with tiny radius class 0 always wins.
+        let p = RobustnessProblem::new(&net, vec![0.8, 0.2], 0, 0.02).unwrap();
+        let r = AbonnVerifier::default().verify(&p, &Budget::with_appver_calls(200));
+        assert_eq!(r.verdict, Verdict::Verified);
+    }
+
+    #[test]
+    fn falsifies_a_vulnerable_instance() {
+        let net = relu_compare_net();
+        // Radius large enough to cross the x0 = x1 boundary.
+        let p = RobustnessProblem::new(&net, vec![0.55, 0.45], 0, 0.2).unwrap();
+        let r = AbonnVerifier::default().verify(&p, &Budget::with_appver_calls(500));
+        match r.verdict {
+            Verdict::Falsified(w) => assert!(p.validate_witness(&w)),
+            v => panic!("expected falsification, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn times_out_gracefully_under_tiny_budget() {
+        let net = relu_compare_net();
+        let p = RobustnessProblem::new(&net, vec![0.52, 0.48], 0, 0.06).unwrap();
+        let r = AbonnVerifier::default().verify(&p, &Budget::with_appver_calls(2));
+        // With two calls it can at most analyze the root and start one
+        // expansion; whatever the verdict, stats must be consistent.
+        assert!(r.stats.appver_calls <= 4);
+        if r.verdict == Verdict::Timeout {
+            assert!(r.stats.tree_size >= 1);
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let net = relu_compare_net();
+        let p = RobustnessProblem::new(&net, vec![0.8, 0.2], 0, 0.05).unwrap();
+        let r = AbonnVerifier::default().verify(&p, &Budget::with_appver_calls(300));
+        assert!(r.stats.appver_calls >= 1);
+        assert!(r.stats.nodes_visited >= 1);
+    }
+
+    #[test]
+    fn hyperparameter_constructor_plumbs_values() {
+        let v = AbonnVerifier::with_hyperparameters(0.25, 0.7);
+        assert_eq!(v.config.lambda, 0.25);
+        assert_eq!(v.config.c, 0.7);
+        assert!(v.name().contains("0.25"));
+    }
+
+    #[test]
+    fn pure_exploitation_and_exploration_both_terminate() {
+        let net = relu_compare_net();
+        let p = RobustnessProblem::new(&net, vec![0.7, 0.3], 0, 0.1).unwrap();
+        for c in [0.0, 1.0] {
+            let v = AbonnVerifier::with_hyperparameters(0.5, c);
+            let r = v.verify(&p, &Budget::with_appver_calls(400));
+            assert!(
+                r.verdict.is_solved() || r.stats.appver_calls >= 400,
+                "c = {c} stalled"
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Counterexample potentiality — Definition 1 of the paper.
+//!
+//! The potentiality `⟦Γ⟧` of a BaB node combines its depth (deeper nodes
+//! carry less over-approximation, so a negative `p̂` there is more
+//! credible) and the magnitude of the verifier's violation estimate `p̂`:
+//!
+//! ```text
+//!           ⎧ −∞                                    p̂ > 0   (verified)
+//! ⟦Γ⟧  =    ⎨ +∞                                    p̂ < 0 and valid(x̂)
+//!           ⎩ λ·depth(Γ)/K + (1−λ)·p̂/p̂_min         otherwise
+//! ```
+//!
+//! The paper leaves `p̂_min` implicit; following its intent (normalise `p̂`
+//! into `[0, 1]`) we use the most negative `p̂` observed so far in the tree
+//! and clamp the ratio (see `DESIGN.md` §3).
+
+/// Outcome of evaluating a node with an approximated verifier, as far as
+/// potentiality is concerned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeOutcome {
+    /// `p̂ > 0` (or the split region is infeasible): no counterexample can
+    /// exist below this node.
+    Verified,
+    /// `p̂ < 0` and the candidate validated: a real counterexample.
+    ValidCounterexample,
+    /// `p̂ < 0` with a spurious candidate: a false alarm to branch on.
+    FalseAlarm {
+        /// The verifier's violation estimate (negative).
+        p_hat: f64,
+    },
+}
+
+/// Evaluates Definition 1.
+///
+/// * `depth` — `depth(Γ)`, the number of splits on the path;
+/// * `k_total` — `K`, the total number of ReLU neurons in the network;
+/// * `p_hat_min` — the most negative `p̂` observed so far (normaliser);
+/// * `lambda` — the weighting hyperparameter `λ ∈ [0, 1]`.
+///
+/// Returns a value in `[0, 1]` for false alarms, `−∞` for verified nodes
+/// and `+∞` for validated counterexamples.
+///
+/// # Examples
+///
+/// ```
+/// use abonn_core::potentiality::{potentiality, NodeOutcome};
+///
+/// // Deeper nodes with stronger violations are more promising.
+/// let shallow = potentiality(NodeOutcome::FalseAlarm { p_hat: -0.5 }, 1, 100, -2.0, 0.5);
+/// let deep = potentiality(NodeOutcome::FalseAlarm { p_hat: -1.8 }, 40, 100, -2.0, 0.5);
+/// assert!(deep > shallow);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `lambda` is outside `[0, 1]` or `k_total` is zero.
+#[must_use]
+pub fn potentiality(
+    outcome: NodeOutcome,
+    depth: usize,
+    k_total: usize,
+    p_hat_min: f64,
+    lambda: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+    assert!(k_total > 0, "network must have ReLU neurons");
+    match outcome {
+        NodeOutcome::Verified => f64::NEG_INFINITY,
+        NodeOutcome::ValidCounterexample => f64::INFINITY,
+        NodeOutcome::FalseAlarm { p_hat } => {
+            let depth_term = (depth as f64 / k_total as f64).clamp(0.0, 1.0);
+            // p̂ and p̂_min are both negative; the ratio lands in [0, 1]
+            // when p̂ ≥ p̂_min and is clamped otherwise.
+            let p_term = if p_hat_min < 0.0 {
+                (p_hat / p_hat_min).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            lambda * depth_term + (1.0 - lambda) * p_term
+        }
+    }
+}
+
+/// The UCB1 score used for child selection (Line 13 of Algorithm 1):
+/// `R + c·√(2·ln(parent_visits) / child_visits)`.
+///
+/// Infinite rewards pass through untouched, so verified subtrees are never
+/// preferred and counterexample subtrees always win.
+///
+/// # Panics
+///
+/// Panics if `child_visits` is zero.
+#[must_use]
+pub fn ucb1(reward: f64, c: f64, parent_visits: usize, child_visits: usize) -> f64 {
+    assert!(child_visits > 0, "ucb1: child must have been visited");
+    if reward.is_infinite() {
+        return reward;
+    }
+    let bonus = (2.0 * (parent_visits.max(1) as f64).ln() / child_visits as f64).sqrt();
+    reward + c * bonus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn verified_and_valid_map_to_infinities() {
+        assert_eq!(
+            potentiality(NodeOutcome::Verified, 3, 10, -1.0, 0.5),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            potentiality(NodeOutcome::ValidCounterexample, 3, 10, -1.0, 0.5),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn deeper_nodes_score_higher() {
+        let shallow = potentiality(NodeOutcome::FalseAlarm { p_hat: -1.0 }, 1, 10, -2.0, 0.5);
+        let deep = potentiality(NodeOutcome::FalseAlarm { p_hat: -1.0 }, 5, 10, -2.0, 0.5);
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn more_negative_p_hat_scores_higher() {
+        let mild = potentiality(NodeOutcome::FalseAlarm { p_hat: -0.5 }, 2, 10, -2.0, 0.5);
+        let severe = potentiality(NodeOutcome::FalseAlarm { p_hat: -1.9 }, 2, 10, -2.0, 0.5);
+        assert!(severe > mild);
+    }
+
+    #[test]
+    fn lambda_extremes_isolate_each_attribute() {
+        // λ = 1: only depth matters.
+        let a = potentiality(NodeOutcome::FalseAlarm { p_hat: -0.1 }, 4, 8, -2.0, 1.0);
+        let b = potentiality(NodeOutcome::FalseAlarm { p_hat: -1.9 }, 4, 8, -2.0, 1.0);
+        assert_eq!(a, b);
+        assert!((a - 0.5).abs() < 1e-12);
+        // λ = 0: only p̂ matters.
+        let c = potentiality(NodeOutcome::FalseAlarm { p_hat: -1.0 }, 1, 8, -2.0, 0.0);
+        let d = potentiality(NodeOutcome::FalseAlarm { p_hat: -1.0 }, 7, 8, -2.0, 0.0);
+        assert_eq!(c, d);
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ucb1_adds_exploration_bonus() {
+        let often = ucb1(0.5, 0.2, 100, 90);
+        let rarely = ucb1(0.5, 0.2, 100, 2);
+        assert!(rarely > often);
+        // c = 0 disables the bonus entirely.
+        assert_eq!(ucb1(0.5, 0.0, 100, 2), 0.5);
+    }
+
+    #[test]
+    fn ucb1_preserves_infinities() {
+        assert_eq!(ucb1(f64::NEG_INFINITY, 0.2, 10, 1), f64::NEG_INFINITY);
+        assert_eq!(ucb1(f64::INFINITY, 0.2, 10, 1), f64::INFINITY);
+    }
+
+    proptest! {
+        /// Finite potentialities always land in [0, 1].
+        #[test]
+        fn finite_potentiality_is_normalised(
+            depth in 0usize..64,
+            k in 1usize..64,
+            p_hat in -10.0..-1e-6_f64,
+            p_min in -10.0..-1e-6_f64,
+            lambda in 0.0..1.0_f64,
+        ) {
+            let v = potentiality(NodeOutcome::FalseAlarm { p_hat }, depth, k, p_min, lambda);
+            prop_assert!((0.0..=1.0).contains(&v), "potentiality {v} out of range");
+        }
+
+        /// Monotonicity in p̂ under a fixed normaliser.
+        #[test]
+        fn potentiality_monotone_in_violation(
+            p1 in -5.0..-0.1_f64,
+            delta in 0.01..3.0_f64,
+        ) {
+            let worse = p1 - delta;
+            let v1 = potentiality(NodeOutcome::FalseAlarm { p_hat: p1 }, 2, 10, -10.0, 0.5);
+            let v2 = potentiality(NodeOutcome::FalseAlarm { p_hat: worse }, 2, 10, -10.0, 0.5);
+            prop_assert!(v2 >= v1);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Deterministic synthetic image-classification datasets.
+//!
+//! Each class is a smooth, class-specific prototype pattern (a mixture of
+//! low-frequency sinusoids seeded by the class index); samples are the
+//! prototype plus bounded pixel noise and a small global brightness shift,
+//! clamped into `[0, 1]`. The result is easy enough that small networks
+//! train to high accuracy in seconds, yet noisy enough that robustness
+//! radii around test points yield a non-trivial mix of certifiable and
+//! falsifiable verification problems.
+
+use abonn_nn::Shape;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of classes in both synthetic datasets (matching MNIST/CIFAR-10).
+pub const NUM_CLASSES: usize = 10;
+
+/// MNIST-like image geometry: 1 channel, 10×10 pixels.
+pub const MNIST_SHAPE: Shape = Shape::Image { c: 1, h: 10, w: 10 };
+
+/// CIFAR-like image geometry: 3 channels, 8×8 pixels.
+pub const CIFAR_SHAPE: Shape = Shape::Image { c: 3, h: 8, w: 8 };
+
+/// A labelled dataset of flat (channel-major) image vectors in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Flattened images, channel-major.
+    pub inputs: Vec<Vec<f64>>,
+    /// Class labels in `0..NUM_CLASSES`.
+    pub labels: Vec<usize>,
+    /// Image geometry of every input.
+    pub shape: Shape,
+    /// Number of distinct classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Splits into `(first_n, rest)` by sample index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    #[must_use]
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "Dataset::split_at: {n} > {}", self.len());
+        let head = Dataset {
+            inputs: self.inputs[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            shape: self.shape,
+            num_classes: self.num_classes,
+        };
+        let tail = Dataset {
+            inputs: self.inputs[n..].to_vec(),
+            labels: self.labels[n..].to_vec(),
+            shape: self.shape,
+            num_classes: self.num_classes,
+        };
+        (head, tail)
+    }
+}
+
+/// Class prototype value at pixel `(ch, y, x)`: a smooth mixture of
+/// sinusoids whose frequencies and phases are derived from the class.
+fn prototype(class: usize, ch: usize, y: usize, x: usize, h: usize, w: usize) -> f64 {
+    let cf = class as f64;
+    let chf = ch as f64;
+    let fy = 1.0 + (cf * 0.7 + chf * 0.3) % 3.0;
+    let fx = 1.0 + (cf * 1.3 + chf * 0.5) % 3.0;
+    let phase = cf * 0.9 + chf * 1.7;
+    let yy = y as f64 / h as f64;
+    let xx = x as f64 / w as f64;
+    let v = 0.5
+        + 0.28 * (2.0 * std::f64::consts::PI * (fy * yy + fx * xx) + phase).sin()
+        + 0.17 * (2.0 * std::f64::consts::PI * (fx * yy - fy * xx) - phase).cos();
+    v.clamp(0.0, 1.0)
+}
+
+fn generate(shape: Shape, n: usize, seed: u64, noise: f64) -> Dataset {
+    let Shape::Image { c, h, w } = shape else {
+        unreachable!("dataset shapes are images");
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut inputs = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % NUM_CLASSES;
+        let brightness = rng.gen_range(-0.05..0.05);
+        let mut img = Vec::with_capacity(c * h * w);
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = prototype(class, ch, y, x, h, w)
+                        + brightness
+                        + rng.gen_range(-noise..noise);
+                    img.push(v.clamp(0.0, 1.0));
+                }
+            }
+        }
+        inputs.push(img);
+        labels.push(class);
+    }
+    Dataset {
+        inputs,
+        labels,
+        shape,
+        num_classes: NUM_CLASSES,
+    }
+}
+
+/// Generates `n` MNIST-like samples (10×10 grayscale, 10 classes).
+///
+/// The generator is fully deterministic given `seed`.
+#[must_use]
+pub fn mnist_like(n: usize, seed: u64) -> Dataset {
+    generate(MNIST_SHAPE, n, seed, 0.24)
+}
+
+/// Generates `n` CIFAR-like samples (8×8 RGB, 10 classes).
+///
+/// The generator is fully deterministic given `seed`.
+#[must_use]
+pub fn cifar_like(n: usize, seed: u64) -> Dataset {
+    generate(CIFAR_SHAPE, n, seed, 0.20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mnist_like_has_expected_geometry() {
+        let d = mnist_like(25, 1);
+        assert_eq!(d.len(), 25);
+        assert_eq!(d.inputs[0].len(), 100);
+        assert_eq!(d.shape, MNIST_SHAPE);
+        assert!(d.labels.iter().all(|&l| l < NUM_CLASSES));
+    }
+
+    #[test]
+    fn cifar_like_has_expected_geometry() {
+        let d = cifar_like(12, 2);
+        assert_eq!(d.inputs[0].len(), 192);
+        assert_eq!(d.shape, CIFAR_SHAPE);
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_interval() {
+        for d in [mnist_like(40, 3), cifar_like(40, 3)] {
+            for img in &d.inputs {
+                assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(mnist_like(10, 9), mnist_like(10, 9));
+        assert_ne!(mnist_like(10, 9), mnist_like(10, 10));
+    }
+
+    #[test]
+    fn labels_cycle_through_all_classes() {
+        let d = mnist_like(NUM_CLASSES * 2, 4);
+        for class in 0..NUM_CLASSES {
+            assert_eq!(d.labels.iter().filter(|&&l| l == class).count(), 2);
+        }
+    }
+
+    #[test]
+    fn same_class_samples_are_more_similar_than_cross_class() {
+        // The prototype structure should dominate the noise.
+        let d = mnist_like(30, 5);
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>()
+        };
+        // samples 0 and 10 are class 0; sample 5 is class 5
+        let same = dist(&d.inputs[0], &d.inputs[10]);
+        let cross = dist(&d.inputs[0], &d.inputs[5]);
+        assert!(
+            same < cross,
+            "same-class distance {same} should be below cross-class {cross}"
+        );
+    }
+
+    #[test]
+    fn split_at_partitions_samples() {
+        let d = mnist_like(10, 6);
+        let (a, b) = d.split_at(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 6);
+        assert_eq!(a.inputs[0], d.inputs[0]);
+        assert_eq!(b.inputs[0], d.inputs[4]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn any_seed_produces_valid_data(seed in 0u64..1000, n in 1usize..30) {
+            let d = cifar_like(n, seed);
+            prop_assert_eq!(d.len(), n);
+            prop_assert!(d.inputs.iter().all(|img| img.len() == 192));
+            prop_assert!(d.inputs.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

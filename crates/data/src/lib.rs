@@ -1,0 +1,32 @@
+//! Datasets, models, and verification instances for the ABONN benchmark.
+//!
+//! The paper evaluates on 552 local-robustness problems over five networks
+//! trained on MNIST and CIFAR-10 (Table I). Real image datasets and
+//! pretrained weights are not available offline, so this crate builds the
+//! closest synthetic equivalent (see `DESIGN.md` §2):
+//!
+//! * [`datasets`] — deterministic, seeded "MNIST-like" (10×10 grayscale)
+//!   and "CIFAR-like" (8×8 RGB) classification datasets;
+//! * [`zoo`] — the five architectures of Table I at laptop scale, trained
+//!   with SGD (`abonn-nn`) until they genuinely classify the data;
+//! * [`suite`] — L∞ robustness instances whose radii are calibrated so the
+//!   suite mixes certifiable, falsifiable, and hard problems — mirroring
+//!   the paper's "neither too easy nor too hard" filter (Fig. 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use abonn_data::{datasets, zoo::ModelKind};
+//!
+//! let data = datasets::mnist_like(32, 7);
+//! assert_eq!(data.inputs.len(), 32);
+//! assert_eq!(data.shape, ModelKind::MnistL2.input_shape());
+//! ```
+
+pub mod datasets;
+pub mod suite;
+pub mod zoo;
+
+pub use datasets::Dataset;
+pub use suite::{SuiteConfig, VerificationInstance};
+pub use zoo::ModelKind;

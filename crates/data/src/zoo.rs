@@ -1,0 +1,263 @@
+//! The five benchmark architectures of the paper's Table I, at laptop
+//! scale, with deterministic SGD training.
+//!
+//! | Paper model    | Paper arch        | Paper #neurons | Ours (scaled)            | Ours #ReLUs |
+//! |----------------|-------------------|----------------|--------------------------|-------------|
+//! | MNIST_L2       | 2 × 256 linear    | 512            | 2 × 32 linear            | 64          |
+//! | MNIST_L4       | 4 × 256 linear    | 1024           | 4 × 32 linear            | 128         |
+//! | CIFAR-10_BASE  | 2 conv, 2 linear  | 4852           | 2 conv, 2 linear         | 512         |
+//! | CIFAR-10_WIDE  | 2 conv, 2 linear  | 6244           | wider 2 conv, 2 linear   | 672         |
+//! | CIFAR-10_DEEP  | 4 conv, 2 linear  | 6756           | 4 conv, 2 linear         | 736         |
+//!
+//! The scaled models preserve the paper's complexity ordering
+//! (`L2 < L4 < BASE < WIDE < DEEP`) and its family split (fully-connected
+//! on MNIST-like data, convolutional on CIFAR-like data).
+
+use crate::datasets::{self, Dataset, NUM_CLASSES};
+use abonn_nn::{init, train, Layer, Network, Shape};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One of the five benchmark models (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Two 32-unit dense ReLU layers on MNIST-like data.
+    MnistL2,
+    /// Four 32-unit dense ReLU layers on MNIST-like data.
+    MnistL4,
+    /// Two conv + two dense layers on CIFAR-like data.
+    CifarBase,
+    /// Wider two conv + two dense layers on CIFAR-like data.
+    CifarWide,
+    /// Four conv + two dense layers on CIFAR-like data.
+    CifarDeep,
+}
+
+impl ModelKind {
+    /// All five benchmark models in Table I order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::MnistL2,
+        ModelKind::MnistL4,
+        ModelKind::CifarBase,
+        ModelKind::CifarWide,
+        ModelKind::CifarDeep,
+    ];
+
+    /// The paper's name for the model.
+    #[must_use]
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            ModelKind::MnistL2 => "MNIST_L2",
+            ModelKind::MnistL4 => "MNIST_L4",
+            ModelKind::CifarBase => "CIFAR-10_BASE",
+            ModelKind::CifarWide => "CIFAR-10_WIDE",
+            ModelKind::CifarDeep => "CIFAR-10_DEEP",
+        }
+    }
+
+    /// Architecture summary in the style of Table I.
+    #[must_use]
+    pub fn architecture_summary(&self) -> &'static str {
+        match self {
+            ModelKind::MnistL2 => "2 x 32 linear",
+            ModelKind::MnistL4 => "4 x 32 linear",
+            ModelKind::CifarBase | ModelKind::CifarWide => "2 Conv, 2 linear",
+            ModelKind::CifarDeep => "4 Conv, 2 linear",
+        }
+    }
+
+    /// The dataset family name ("MNIST" or "CIFAR-10").
+    #[must_use]
+    pub fn dataset_name(&self) -> &'static str {
+        match self {
+            ModelKind::MnistL2 | ModelKind::MnistL4 => "MNIST",
+            _ => "CIFAR-10",
+        }
+    }
+
+    /// Returns `true` for the convolutional CIFAR-like models.
+    #[must_use]
+    pub fn is_conv(&self) -> bool {
+        !matches!(self, ModelKind::MnistL2 | ModelKind::MnistL4)
+    }
+
+    /// Input geometry of the model.
+    #[must_use]
+    pub fn input_shape(&self) -> Shape {
+        if self.is_conv() {
+            datasets::CIFAR_SHAPE
+        } else {
+            datasets::MNIST_SHAPE
+        }
+    }
+
+    /// Generates `n` samples of the model's dataset family.
+    #[must_use]
+    pub fn dataset(&self, n: usize, seed: u64) -> Dataset {
+        if self.is_conv() {
+            datasets::cifar_like(n, seed)
+        } else {
+            datasets::mnist_like(n, seed)
+        }
+    }
+
+    /// Builds the (untrained) architecture with seeded Xavier weights.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the architectures defined here; shape validation is
+    /// checked by construction.
+    #[must_use]
+    pub fn architecture(&self, seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA80_77E5);
+        let input = self.input_shape();
+        let flat = input.len();
+        let layers = match self {
+            ModelKind::MnistL2 => vec![
+                Layer::flatten(),
+                init::dense_xavier(flat, 32, &mut rng),
+                Layer::relu(),
+                init::dense_xavier(32, 32, &mut rng),
+                Layer::relu(),
+                init::dense_xavier(32, NUM_CLASSES, &mut rng),
+            ],
+            ModelKind::MnistL4 => {
+                let mut l = vec![
+                    Layer::flatten(),
+                    init::dense_xavier(flat, 32, &mut rng),
+                    Layer::relu(),
+                ];
+                for _ in 0..3 {
+                    l.push(init::dense_xavier(32, 32, &mut rng));
+                    l.push(Layer::relu());
+                }
+                l.push(init::dense_xavier(32, NUM_CLASSES, &mut rng));
+                l
+            }
+            ModelKind::CifarBase => vec![
+                init::conv_xavier(3, 6, 3, 1, 1, &mut rng), // 6x8x8 = 384
+                Layer::relu(),
+                init::conv_xavier(6, 6, 2, 2, 0, &mut rng), // 6x4x4 = 96
+                Layer::relu(),
+                Layer::flatten(),
+                init::dense_xavier(96, 32, &mut rng),
+                Layer::relu(),
+                init::dense_xavier(32, NUM_CLASSES, &mut rng),
+            ],
+            ModelKind::CifarWide => vec![
+                init::conv_xavier(3, 8, 3, 1, 1, &mut rng), // 8x8x8 = 512
+                Layer::relu(),
+                init::conv_xavier(8, 8, 2, 2, 0, &mut rng), // 8x4x4 = 128
+                Layer::relu(),
+                Layer::flatten(),
+                init::dense_xavier(128, 32, &mut rng),
+                Layer::relu(),
+                init::dense_xavier(32, NUM_CLASSES, &mut rng),
+            ],
+            ModelKind::CifarDeep => vec![
+                init::conv_xavier(3, 4, 3, 1, 1, &mut rng), // 4x8x8 = 256
+                Layer::relu(),
+                init::conv_xavier(4, 4, 3, 1, 1, &mut rng), // 4x8x8 = 256
+                Layer::relu(),
+                init::conv_xavier(4, 6, 2, 2, 0, &mut rng), // 6x4x4 = 96
+                Layer::relu(),
+                init::conv_xavier(6, 6, 3, 1, 1, &mut rng), // 6x4x4 = 96
+                Layer::relu(),
+                Layer::flatten(),
+                init::dense_xavier(96, 32, &mut rng),
+                Layer::relu(),
+                init::dense_xavier(32, NUM_CLASSES, &mut rng),
+            ],
+        };
+        Network::new(input, layers).expect("zoo architectures are shape-valid")
+    }
+
+    /// Builds and trains the model on its synthetic dataset.
+    ///
+    /// Returns the trained network together with the training set, so
+    /// callers can derive verification instances from in-distribution
+    /// points the model actually classifies correctly.
+    #[must_use]
+    pub fn trained_model(&self, seed: u64) -> (Network, Dataset) {
+        let data = self.dataset(240, seed ^ 0xDA7A);
+        let mut net = self.architecture(seed);
+        let config = train::TrainConfig {
+            learning_rate: if self.is_conv() { 0.08 } else { 0.05 },
+            epochs: if self.is_conv() { 25 } else { 35 },
+            batch_size: 16,
+            seed,
+        };
+        let _report = train::train(&mut net, &data.inputs, &data.labels, &config);
+        (net, data)
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abonn_nn::CanonicalNetwork;
+
+    #[test]
+    fn architectures_build_and_have_expected_outputs() {
+        for kind in ModelKind::ALL {
+            let net = kind.architecture(0);
+            assert_eq!(net.output_dim(), NUM_CLASSES, "{kind}");
+        }
+    }
+
+    #[test]
+    fn neuron_counts_preserve_paper_ordering() {
+        let counts: Vec<usize> = ModelKind::ALL
+            .iter()
+            .map(|k| k.architecture(0).num_relu_neurons())
+            .collect();
+        // L2 < L4 < BASE < WIDE < DEEP, as in Table I.
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "counts {counts:?}");
+        assert_eq!(counts[0], 64);
+        assert_eq!(counts[1], 128);
+    }
+
+    #[test]
+    fn all_architectures_lower_to_canonical_form() {
+        for kind in ModelKind::ALL {
+            let net = kind.architecture(0);
+            let canon = CanonicalNetwork::from_network(&net).expect("lowerable");
+            assert_eq!(canon.num_relu_neurons(), net.num_relu_neurons(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn training_reaches_usable_accuracy_on_mnist_l2() {
+        let (net, data) = ModelKind::MnistL2.trained_model(1);
+        let acc = train::accuracy(&net, &data.inputs, &data.labels);
+        assert!(acc > 0.9, "MNIST_L2 training accuracy {acc}");
+    }
+
+    #[test]
+    fn training_reaches_usable_accuracy_on_cifar_base() {
+        let (net, data) = ModelKind::CifarBase.trained_model(1);
+        let acc = train::accuracy(&net, &data.inputs, &data.labels);
+        assert!(acc > 0.8, "CIFAR_BASE training accuracy {acc}");
+    }
+
+    #[test]
+    fn trained_model_is_deterministic() {
+        let (a, _) = ModelKind::MnistL2.trained_model(5);
+        let (b, _) = ModelKind::MnistL2.trained_model(5);
+        let x = vec![0.5; 100];
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(ModelKind::CifarDeep.to_string(), "CIFAR-10_DEEP");
+        assert_eq!(ModelKind::MnistL2.dataset_name(), "MNIST");
+    }
+}

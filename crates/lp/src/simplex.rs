@@ -1,0 +1,868 @@
+//! Bounded-variable primal simplex with a two-phase start.
+//!
+//! The implementation follows the textbook "simplex method with upper
+//! bounds": nonbasic variables rest at one of their (finite) bounds, the
+//! ratio test accounts for both basic-variable bounds and a bound flip of
+//! the entering variable, and phase 1 minimises the sum of artificial
+//! variables that absorb any initial row infeasibility.
+
+use std::error::Error;
+use std::fmt;
+
+/// Feasibility tolerance: a value within `FEAS_TOL` of a bound counts as on
+/// the bound.
+const FEAS_TOL: f64 = 1e-7;
+/// Pivot / reduced-cost tolerance.
+const PIVOT_TOL: f64 = 1e-9;
+
+/// Direction of optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Minimise the objective.
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// Relation of a constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `a · x ≤ b`
+    Le,
+    /// `a · x ≥ b`
+    Ge,
+    /// `a · x = b`
+    Eq,
+}
+
+/// Outcome classification of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// No point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+}
+
+/// Error returned by [`Problem::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The iteration limit was exceeded (should not happen with Bland's
+    /// rule unless the problem is numerically pathological).
+    IterationLimit,
+    /// The problem definition is malformed (e.g. a lower bound above an
+    /// upper bound).
+    BadProblem(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::BadProblem(msg) => write!(f, "malformed problem: {msg}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Result of a successful solve.
+///
+/// `x` and `objective` are meaningful only when `status` is
+/// [`Status::Optimal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Outcome classification.
+    pub status: Status,
+    /// Optimal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Objective value at `x`, in the user's original sense.
+    pub objective: f64,
+}
+
+/// A linear program with per-variable bounds.
+///
+/// Construct with [`Problem::new`], describe with [`set_objective`],
+/// [`set_bounds`] and [`add_row`], then call [`solve`].
+///
+/// [`set_objective`]: Problem::set_objective
+/// [`set_bounds`]: Problem::set_bounds
+/// [`add_row`]: Problem::add_row
+/// [`solve`]: Problem::solve
+///
+/// # Examples
+///
+/// ```
+/// use abonn_lp::{Problem, Relation, Sense, Status};
+///
+/// let mut p = Problem::new(1, Sense::Minimize);
+/// p.set_objective(&[1.0]);
+/// p.set_bounds(0, -2.0, 5.0);
+/// p.add_row(&[1.0], Relation::Ge, -1.0);
+/// let sol = p.solve()?;
+/// assert_eq!(sol.status, Status::Optimal);
+/// assert!((sol.objective + 1.0).abs() < 1e-8);
+/// # Ok::<(), abonn_lp::SolveError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    n: usize,
+    sense: Sense,
+    objective: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    relations: Vec<Relation>,
+    rhs: Vec<f64>,
+}
+
+impl Problem {
+    /// Creates a problem with `n` structural variables, a zero objective,
+    /// and free (`-∞, +∞`) variables.
+    #[must_use]
+    pub fn new(n: usize, sense: Sense) -> Self {
+        Self {
+            n,
+            sense,
+            objective: vec![0.0; n],
+            lower: vec![f64::NEG_INFINITY; n],
+            upper: vec![f64::INFINITY; n],
+            rows: Vec::new(),
+            relations: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraint rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficient vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len()` differs from the number of variables.
+    pub fn set_objective(&mut self, c: &[f64]) {
+        assert_eq!(c.len(), self.n, "objective length mismatch");
+        self.objective.copy_from_slice(c);
+    }
+
+    /// Sets the bounds of variable `j` to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set_bounds(&mut self, j: usize, lo: f64, hi: f64) {
+        assert!(j < self.n, "variable index out of range");
+        self.lower[j] = lo;
+        self.upper[j] = hi;
+    }
+
+    /// Appends the constraint `coeffs · x (rel) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the number of variables.
+    pub fn add_row(&mut self, coeffs: &[f64], rel: Relation, rhs: f64) {
+        assert_eq!(coeffs.len(), self.n, "row length mismatch");
+        self.rows.push(coeffs.to_vec());
+        self.relations.push(rel);
+        self.rhs.push(rhs);
+    }
+
+    /// Solves the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::BadProblem`] when a variable has `lower >
+    /// upper` or a non-finite coefficient appears, and
+    /// [`SolveError::IterationLimit`] if the pivot budget is exhausted.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.validate()?;
+        let mut t = Tableau::build(self);
+        match t.run()? {
+            Status::Optimal => {
+                let x = t.structural_values();
+                let mut obj = 0.0;
+                for (cj, xj) in self.objective.iter().zip(&x) {
+                    obj += cj * xj;
+                }
+                Ok(Solution {
+                    status: Status::Optimal,
+                    x,
+                    objective: obj,
+                })
+            }
+            status => Ok(Solution {
+                status,
+                x: vec![0.0; self.n],
+                objective: 0.0,
+            }),
+        }
+    }
+
+    fn validate(&self) -> Result<(), SolveError> {
+        for j in 0..self.n {
+            if self.lower[j] > self.upper[j] + FEAS_TOL {
+                return Err(SolveError::BadProblem(format!(
+                    "variable {j}: lower bound {} exceeds upper bound {}",
+                    self.lower[j], self.upper[j]
+                )));
+            }
+            if self.objective[j].is_nan() {
+                return Err(SolveError::BadProblem(format!(
+                    "variable {j}: NaN objective coefficient"
+                )));
+            }
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.iter().any(|v| !v.is_finite()) || !self.rhs[i].is_finite() {
+                return Err(SolveError::BadProblem(format!(
+                    "row {i}: non-finite coefficient or rhs"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(usize), // row index
+    AtLower,
+    AtUpper,
+    /// Free nonbasic variable resting at zero.
+    FreeZero,
+}
+
+struct Tableau {
+    /// rows × total-vars coefficient matrix, kept pivoted so that basic
+    /// columns are unit columns.
+    a: Vec<Vec<f64>>,
+    /// Current value of every variable.
+    x: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    state: Vec<VarState>,
+    /// basis[row] = variable index basic in that row.
+    basis: Vec<usize>,
+    /// Phase-2 minimisation objective over all variables.
+    cost: Vec<f64>,
+    n_structural: usize,
+    /// First artificial variable index (artificials occupy the tail).
+    first_artificial: usize,
+}
+
+impl Tableau {
+    fn build(p: &Problem) -> Self {
+        let m = p.rows.len();
+        let n = p.n;
+        let n_slack = m;
+        // Artificials are appended lazily below; reserve index space now.
+        let total_known = n + n_slack;
+
+        let mut lower = p.lower.clone();
+        let mut upper = p.upper.clone();
+        let mut cost: Vec<f64> = match p.sense {
+            Sense::Minimize => p.objective.clone(),
+            Sense::Maximize => p.objective.iter().map(|c| -c).collect(),
+        };
+        // Slack bounds encode the relation: a·x + s = b.
+        for rel in &p.relations {
+            let (lo, hi) = match rel {
+                Relation::Le => (0.0, f64::INFINITY),
+                Relation::Ge => (f64::NEG_INFINITY, 0.0),
+                Relation::Eq => (0.0, 0.0),
+            };
+            lower.push(lo);
+            upper.push(hi);
+            cost.push(0.0);
+        }
+
+        // Initial nonbasic placement for structural variables.
+        let mut state = Vec::with_capacity(total_known);
+        let mut x = vec![0.0; total_known];
+        for j in 0..n {
+            if lower[j].is_finite() {
+                state.push(VarState::AtLower);
+                x[j] = lower[j];
+            } else if upper[j].is_finite() {
+                state.push(VarState::AtUpper);
+                x[j] = upper[j];
+            } else {
+                state.push(VarState::FreeZero);
+                x[j] = 0.0;
+            }
+        }
+        // Slacks: placement decided per row below.
+        for _ in 0..n_slack {
+            state.push(VarState::AtLower); // provisional, fixed up below
+        }
+
+        let mut a: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for row in &p.rows {
+            let mut r = vec![0.0; total_known];
+            r[..n].copy_from_slice(row);
+            a.push(r);
+        }
+        for (i, r) in a.iter_mut().enumerate() {
+            r[n + i] = 1.0; // slack coefficient
+        }
+
+        let mut basis = Vec::with_capacity(m);
+        let mut artificial_cols: Vec<(usize, f64)> = Vec::new(); // (row, residual sign)
+        #[allow(clippy::needless_range_loop)] // `i` indexes three arrays in lockstep
+        for i in 0..m {
+            let sj = n + i;
+            // Residual the slack would have to take for the row to hold.
+            let mut dot = 0.0;
+            for (j, &xj) in x[..n].iter().enumerate() {
+                dot += a[i][j] * xj;
+            }
+            let need = p.rhs[i] - dot;
+            if need >= lower[sj] - FEAS_TOL && need <= upper[sj] + FEAS_TOL {
+                // Slack can be basic at `need`: row starts feasible.
+                x[sj] = need.clamp(lower[sj], upper[sj]);
+                state[sj] = VarState::Basic(i);
+                basis.push(sj);
+            } else {
+                // Put the slack at its nearest bound and absorb the rest
+                // with an artificial variable.
+                let rest;
+                if need < lower[sj] {
+                    x[sj] = lower[sj];
+                    state[sj] = VarState::AtLower;
+                    rest = need - lower[sj];
+                } else {
+                    x[sj] = upper[sj];
+                    state[sj] = VarState::AtUpper;
+                    rest = need - upper[sj];
+                }
+                artificial_cols.push((i, rest));
+                basis.push(usize::MAX); // patched when artificials are added
+            }
+        }
+
+        let first_artificial = total_known;
+        let n_art = artificial_cols.len();
+        let total = total_known + n_art;
+        for r in &mut a {
+            r.resize(total, 0.0);
+        }
+        let mut lower2 = lower;
+        let mut upper2 = upper;
+        let mut x2 = x;
+        let mut state2 = state;
+        let mut cost2 = cost;
+        lower2.resize(total, 0.0);
+        upper2.resize(total, f64::INFINITY);
+        x2.resize(total, 0.0);
+        state2.resize(total, VarState::AtLower);
+        cost2.resize(total, 0.0);
+        for (k, &(row, rest)) in artificial_cols.iter().enumerate() {
+            let aj = first_artificial + k;
+            // Scale the row so the artificial enters with coefficient +1
+            // while staying nonnegative; basic columns must be unit columns
+            // for the tableau invariants to hold.
+            if rest < 0.0 {
+                for v in &mut a[row] {
+                    *v = -*v;
+                }
+            }
+            a[row][aj] = 1.0;
+            x2[aj] = rest.abs();
+            state2[aj] = VarState::Basic(row);
+            basis[row] = aj;
+        }
+
+        Tableau {
+            a,
+            x: x2,
+            lower: lower2,
+            upper: upper2,
+            state: state2,
+            basis,
+            cost: cost2,
+            n_structural: n,
+            first_artificial,
+        }
+    }
+
+    fn total_vars(&self) -> usize {
+        self.x.len()
+    }
+
+    fn structural_values(&self) -> Vec<f64> {
+        self.x[..self.n_structural].to_vec()
+    }
+
+    /// Reduced costs `d_j = c_j − c_B · T[:, j]` for the given cost vector.
+    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+        let mut d = cost.to_vec();
+        for (i, &bi) in self.basis.iter().enumerate() {
+            let cb = cost[bi];
+            if cb == 0.0 {
+                continue;
+            }
+            for (dj, &aij) in d.iter_mut().zip(&self.a[i]) {
+                *dj -= cb * aij;
+            }
+        }
+        d
+    }
+
+    fn run(&mut self) -> Result<Status, SolveError> {
+        // Phase 1: minimise the sum of artificial variables.
+        if self.first_artificial < self.total_vars() {
+            let mut phase1 = vec![0.0; self.total_vars()];
+            for c in phase1[self.first_artificial..].iter_mut() {
+                *c = 1.0;
+            }
+            let status = self.optimize(&phase1)?;
+            let infeas: f64 = self.x[self.first_artificial..].iter().sum();
+            if status != Status::Optimal || infeas > 1e-6 {
+                return Ok(Status::Infeasible);
+            }
+            // Pin artificials to zero for phase 2 so they can never
+            // re-enter with a nonzero value.
+            for j in self.first_artificial..self.total_vars() {
+                self.lower[j] = 0.0;
+                self.upper[j] = 0.0;
+                self.x[j] = 0.0;
+            }
+        }
+        let phase2 = self.cost.clone();
+        self.optimize(&phase2)
+    }
+
+    /// Runs primal simplex iterations with the given minimisation costs.
+    fn optimize(&mut self, cost: &[f64]) -> Result<Status, SolveError> {
+        let total = self.total_vars();
+        let max_iter = 200 * (total + self.a.len() + 16);
+        // Dantzig rule normally; switch to Bland's rule after a stall to
+        // guarantee termination under degeneracy.
+        let mut degenerate_steps = 0usize;
+
+        for _ in 0..max_iter {
+            let d = self.reduced_costs(cost);
+            let use_bland = degenerate_steps > 40;
+            let Some((enter, dir)) = self.pick_entering(&d, use_bland) else {
+                return Ok(Status::Optimal);
+            };
+            match self.ratio_test(enter, dir) {
+                RatioOutcome::Unbounded => return Ok(Status::Unbounded),
+                RatioOutcome::BoundFlip(t) => {
+                    self.apply_step(enter, dir, t);
+                    self.state[enter] = match self.state[enter] {
+                        VarState::AtLower => VarState::AtUpper,
+                        VarState::AtUpper => VarState::AtLower,
+                        s => s,
+                    };
+                    if t <= FEAS_TOL {
+                        degenerate_steps += 1;
+                    } else {
+                        degenerate_steps = 0;
+                    }
+                }
+                RatioOutcome::Pivot(t, row, leave_state) => {
+                    self.apply_step(enter, dir, t);
+                    self.pivot(row, enter, leave_state);
+                    if t <= FEAS_TOL {
+                        degenerate_steps += 1;
+                    } else {
+                        degenerate_steps = 0;
+                    }
+                }
+            }
+        }
+        Err(SolveError::IterationLimit)
+    }
+
+    /// Chooses an entering variable and its direction (+1 increase, −1
+    /// decrease), or `None` at optimality.
+    fn pick_entering(&self, d: &[f64], bland: bool) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None; // (var, dir, score)
+        #[allow(clippy::needless_range_loop)] // `j` indexes `d` and `self.state`
+        for j in 0..self.total_vars() {
+            let (eligible, dir) = match self.state[j] {
+                VarState::Basic(_) => (false, 0.0),
+                VarState::AtLower => (d[j] < -PIVOT_TOL, 1.0),
+                VarState::AtUpper => (d[j] > PIVOT_TOL, -1.0),
+                VarState::FreeZero => {
+                    if d[j] < -PIVOT_TOL {
+                        (true, 1.0)
+                    } else if d[j] > PIVOT_TOL {
+                        (true, -1.0)
+                    } else {
+                        (false, 0.0)
+                    }
+                }
+            };
+            if !eligible {
+                continue;
+            }
+            if bland {
+                return Some((j, dir));
+            }
+            let score = d[j].abs();
+            match best {
+                Some((_, _, s)) if s >= score => {}
+                _ => best = Some((j, dir, score)),
+            }
+        }
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// Moves `x[enter]` by `dir * t` and updates basic values accordingly.
+    fn apply_step(&mut self, enter: usize, dir: f64, t: f64) {
+        if t == 0.0 {
+            return;
+        }
+        self.x[enter] += dir * t;
+        for (i, &bi) in self.basis.iter().enumerate() {
+            self.x[bi] -= dir * t * self.a[i][enter];
+        }
+    }
+
+    fn ratio_test(&self, enter: usize, dir: f64) -> RatioOutcome {
+        // Limit from the entering variable's own opposite bound.
+        let own_limit = if dir > 0.0 {
+            self.upper[enter] - self.x[enter]
+        } else {
+            self.x[enter] - self.lower[enter]
+        };
+        let mut t_max = own_limit; // may be +inf
+        let mut leaving: Option<(usize, VarState)> = None;
+
+        for (i, &bi) in self.basis.iter().enumerate() {
+            let delta = dir * self.a[i][enter]; // x_bi decreases by delta * t
+            if delta > PIVOT_TOL {
+                if self.lower[bi].is_finite() {
+                    let t = (self.x[bi] - self.lower[bi]) / delta;
+                    if t < t_max - FEAS_TOL
+                        || (t < t_max + FEAS_TOL && better_leaving(&leaving, bi))
+                    {
+                        t_max = t.max(0.0);
+                        leaving = Some((i, VarState::AtLower));
+                    }
+                }
+            } else if delta < -PIVOT_TOL && self.upper[bi].is_finite() {
+                let t = (self.upper[bi] - self.x[bi]) / (-delta);
+                if t < t_max - FEAS_TOL || (t < t_max + FEAS_TOL && better_leaving(&leaving, bi)) {
+                    t_max = t.max(0.0);
+                    leaving = Some((i, VarState::AtUpper));
+                }
+            }
+        }
+
+        match leaving {
+            None if t_max.is_infinite() => RatioOutcome::Unbounded,
+            None => RatioOutcome::BoundFlip(t_max),
+            Some((row, st)) => {
+                if own_limit < t_max - FEAS_TOL {
+                    RatioOutcome::BoundFlip(own_limit)
+                } else {
+                    RatioOutcome::Pivot(t_max, row, st)
+                }
+            }
+        }
+    }
+
+    /// Pivots `enter` into the basis at `row`; the departing variable takes
+    /// `leave_state`.
+    fn pivot(&mut self, row: usize, enter: usize, leave_state: VarState) {
+        let leave = self.basis[row];
+        let piv = self.a[row][enter];
+        debug_assert!(piv.abs() > PIVOT_TOL, "pivot element too small: {piv}");
+        let inv = 1.0 / piv;
+        for v in &mut self.a[row] {
+            *v *= inv;
+        }
+        let pivot_row = self.a[row].clone();
+        for (i, r) in self.a.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[enter];
+            if factor == 0.0 {
+                continue;
+            }
+            for (v, &p) in r.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+        }
+        self.basis[row] = enter;
+        self.state[enter] = VarState::Basic(row);
+        self.state[leave] = leave_state;
+        // Snap the departing variable exactly onto its bound to stop
+        // round-off from accumulating.
+        self.x[leave] = match leave_state {
+            VarState::AtLower => self.lower[leave],
+            VarState::AtUpper => self.upper[leave],
+            _ => self.x[leave],
+        };
+    }
+}
+
+/// Tie-break for the leaving variable: smallest variable index (Bland).
+fn better_leaving(current: &Option<(usize, VarState)>, _candidate_var: usize) -> bool {
+    current.is_none()
+}
+
+enum RatioOutcome {
+    Unbounded,
+    /// The entering variable travels `t` and flips to its opposite bound.
+    BoundFlip(f64),
+    /// Pivot: step `t`, leaving row, and the state the leaving variable
+    /// lands in.
+    Pivot(f64, usize, VarState),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn maximize_classic_two_var() {
+        // max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0 → 36 at (2,6)
+        let mut p = Problem::new(2, Sense::Maximize);
+        p.set_objective(&[3.0, 5.0]);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_bounds(1, 0.0, f64::INFINITY);
+        p.add_row(&[1.0, 0.0], Relation::Le, 4.0);
+        p.add_row(&[0.0, 2.0], Relation::Le, 12.0);
+        p.add_row(&[3.0, 2.0], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge_rows() {
+        // min 2x + 3y, x + y >= 4, x >= 0, y >= 0 → 8 at (4, 0)
+        let mut p = Problem::new(2, Sense::Minimize);
+        p.set_objective(&[2.0, 3.0]);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_bounds(1, 0.0, f64::INFINITY);
+        p.add_row(&[1.0, 1.0], Relation::Ge, 4.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 8.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x - y, x + y = 2, 0 <= x,y <= 2 → -2 at (0, 2)
+        let mut p = Problem::new(2, Sense::Minimize);
+        p.set_objective(&[1.0, -1.0]);
+        p.set_bounds(0, 0.0, 2.0);
+        p.set_bounds(1, 0.0, 2.0);
+        p.add_row(&[1.0, 1.0], Relation::Eq, 2.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, -2.0);
+        assert_close(s.x[0] + s.x[1], 2.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new(1, Sense::Minimize);
+        p.set_objective(&[1.0]);
+        p.set_bounds(0, 0.0, 1.0);
+        p.add_row(&[1.0], Relation::Ge, 2.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(1, Sense::Maximize);
+        p.set_objective(&[1.0]);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn bounds_only_problem() {
+        // No rows at all: optimum sits at a bound.
+        let mut p = Problem::new(3, Sense::Minimize);
+        p.set_objective(&[1.0, -2.0, 0.5]);
+        for j in 0..3 {
+            p.set_bounds(j, -1.0, 2.0);
+        }
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, -1.0 - 4.0 - 0.5);
+    }
+
+    #[test]
+    fn free_variable_with_equality() {
+        // min x, x + y = 1, y in [0, 1], x free → x = 0 at y = 1.
+        let mut p = Problem::new(2, Sense::Minimize);
+        p.set_objective(&[1.0, 0.0]);
+        p.set_bounds(1, 0.0, 1.0);
+        p.add_row(&[1.0, 1.0], Relation::Eq, 1.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x + y, x, y in [-3, -1], x + y >= -5
+        let mut p = Problem::new(2, Sense::Minimize);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, -3.0, -1.0);
+        p.set_bounds(1, -3.0, -1.0);
+        p.add_row(&[1.0, 1.0], Relation::Ge, -5.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, -5.0);
+    }
+
+    #[test]
+    fn conflicting_bounds_is_bad_problem() {
+        let mut p = Problem::new(1, Sense::Minimize);
+        p.set_bounds(0, 2.0, 1.0);
+        assert!(matches!(p.solve(), Err(SolveError::BadProblem(_))));
+    }
+
+    #[test]
+    fn fixed_variable_bounds() {
+        // A variable pinned by equal bounds must keep its value.
+        let mut p = Problem::new(2, Sense::Maximize);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, 2.5, 2.5);
+        p.set_bounds(1, 0.0, 1.0);
+        p.add_row(&[1.0, 1.0], Relation::Le, 3.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.x[0], 2.5);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints meet at the optimum.
+        let mut p = Problem::new(2, Sense::Maximize);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_bounds(1, 0.0, f64::INFINITY);
+        p.add_row(&[1.0, 0.0], Relation::Le, 1.0);
+        p.add_row(&[0.0, 1.0], Relation::Le, 1.0);
+        p.add_row(&[1.0, 1.0], Relation::Le, 2.0);
+        p.add_row(&[2.0, 1.0], Relation::Le, 3.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 2.0);
+    }
+
+    /// Brute-force reference for 2-variable LPs over a fine grid.
+    fn grid_reference(p: &Problem) -> Option<f64> {
+        let steps = 200;
+        let mut best: Option<f64> = None;
+        let (l0, u0) = (p.lower[0].max(-10.0), p.upper[0].min(10.0));
+        let (l1, u1) = (p.lower[1].max(-10.0), p.upper[1].min(10.0));
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let x = l0 + (u0 - l0) * i as f64 / steps as f64;
+                let y = l1 + (u1 - l1) * j as f64 / steps as f64;
+                let feasible = p.rows.iter().enumerate().all(|(k, row)| {
+                    let v = row[0] * x + row[1] * y;
+                    match p.relations[k] {
+                        Relation::Le => v <= p.rhs[k] + 1e-9,
+                        Relation::Ge => v >= p.rhs[k] - 1e-9,
+                        Relation::Eq => (v - p.rhs[k]).abs() <= 1e-6,
+                    }
+                });
+                if feasible {
+                    let obj = p.objective[0] * x + p.objective[1] * y;
+                    let obj = match p.sense {
+                        Sense::Minimize => obj,
+                        Sense::Maximize => -obj,
+                    };
+                    best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+                }
+            }
+        }
+        best.map(|b| match p.sense {
+            Sense::Minimize => b,
+            Sense::Maximize => -b,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random feasible-by-construction LPs: the solution must be
+        /// feasible and at least as good as every grid point.
+        #[test]
+        fn optimal_beats_grid_samples(
+            c0 in -3.0..3.0_f64, c1 in -3.0..3.0_f64,
+            a in proptest::collection::vec((-2.0..2.0_f64, -2.0..2.0_f64, 0.1..3.0_f64), 0..4),
+        ) {
+            let mut p = Problem::new(2, Sense::Minimize);
+            p.set_objective(&[c0, c1]);
+            p.set_bounds(0, 0.0, 2.0);
+            p.set_bounds(1, 0.0, 2.0);
+            // Rows pass through x0 = (1, 1) with positive slack, so the
+            // problem is always feasible.
+            for (r0, r1, slack) in &a {
+                p.add_row(&[*r0, *r1], Relation::Le, r0 + r1 + slack);
+            }
+            let s = p.solve().unwrap();
+            prop_assert_eq!(s.status, Status::Optimal);
+            // Feasibility of the reported point.
+            for (k, row) in p.rows.iter().enumerate() {
+                let v = row[0] * s.x[0] + row[1] * s.x[1];
+                prop_assert!(v <= p.rhs[k] + 1e-6);
+            }
+            prop_assert!(s.x[0] >= -1e-9 && s.x[0] <= 2.0 + 1e-9);
+            prop_assert!(s.x[1] >= -1e-9 && s.x[1] <= 2.0 + 1e-9);
+            if let Some(reference) = grid_reference(&p) {
+                prop_assert!(s.objective <= reference + 1e-4,
+                    "solver {} worse than grid {}", s.objective, reference);
+            }
+        }
+
+        /// Minimising and maximising the negated objective must agree.
+        #[test]
+        fn min_max_duality(
+            c0 in -3.0..3.0_f64, c1 in -3.0..3.0_f64,
+            b in 0.5..4.0_f64,
+        ) {
+            let build = |sense: Sense, c: [f64; 2]| {
+                let mut p = Problem::new(2, sense);
+                p.set_objective(&c);
+                p.set_bounds(0, -1.0, 1.5);
+                p.set_bounds(1, -1.0, 1.5);
+                p.add_row(&[1.0, 1.0], Relation::Le, b);
+                p
+            };
+            let min = build(Sense::Minimize, [c0, c1]).solve().unwrap();
+            let max = build(Sense::Maximize, [-c0, -c1]).solve().unwrap();
+            prop_assert_eq!(min.status, Status::Optimal);
+            prop_assert_eq!(max.status, Status::Optimal);
+            prop_assert!((min.objective + max.objective).abs() < 1e-6);
+        }
+    }
+}

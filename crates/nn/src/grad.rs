@@ -1,0 +1,370 @@
+//! Reverse-mode differentiation through a [`Network`].
+//!
+//! One backward pass yields both the gradient with respect to the input
+//! (used by PGD-style falsification in `abonn-attack`) and the gradients
+//! with respect to every layer parameter (used by the SGD trainer).
+
+use crate::layer::{Layer, Shape};
+use crate::network::{Network, Trace};
+
+/// Parameter gradients of a single layer.
+///
+/// Layers without parameters (`Relu`, `Flatten`) have empty vectors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LayerGrad {
+    /// Gradient of the weights, flattened in the layer's own layout.
+    pub weight: Vec<f64>,
+    /// Gradient of the biases.
+    pub bias: Vec<f64>,
+}
+
+/// Result of [`backward`]: input and parameter gradients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    /// `∂L/∂x` for the network input `x`.
+    pub input: Vec<f64>,
+    /// Per-layer parameter gradients, aligned with [`Network::layers`].
+    pub layers: Vec<LayerGrad>,
+}
+
+/// Back-propagates `grad_output` (`∂L/∂y`) through the network.
+///
+/// `trace` must come from [`Network::forward_trace`] on the same network.
+///
+/// # Examples
+///
+/// ```
+/// use abonn_nn::{grad, Layer, Network, Shape};
+/// use abonn_tensor::Matrix;
+///
+/// # fn main() -> Result<(), abonn_nn::NetworkError> {
+/// let net = Network::new(
+///     Shape::Flat(1),
+///     vec![Layer::dense(Matrix::from_rows(&[&[3.0]]), vec![0.0])],
+/// )?;
+/// let trace = net.forward_trace(&[2.0]);
+/// let grads = grad::backward(&net, &trace, &[1.0]);
+/// assert_eq!(grads.input, vec![3.0]);      // dy/dx = weight
+/// assert_eq!(grads.layers[0].weight, vec![2.0]); // dy/dw = input
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `trace` or `grad_output` are inconsistent with the network's
+/// shapes.
+#[must_use]
+pub fn backward(net: &Network, trace: &Trace, grad_output: &[f64]) -> Gradients {
+    assert_eq!(
+        trace.values.len(),
+        net.layers().len() + 1,
+        "backward: trace does not match network depth"
+    );
+    assert_eq!(
+        grad_output.len(),
+        net.output_dim(),
+        "backward: grad_output length mismatch"
+    );
+
+    let mut grad = grad_output.to_vec();
+    let mut layer_grads = vec![LayerGrad::default(); net.layers().len()];
+
+    for (i, layer) in net.layers().iter().enumerate().rev() {
+        let x = &trace.values[i];
+        let in_shape = net.shape_before(i);
+        let (gin, lg) = backward_layer(layer, in_shape, x, &grad);
+        layer_grads[i] = lg;
+        grad = gin;
+    }
+
+    Gradients {
+        input: grad,
+        layers: layer_grads,
+    }
+}
+
+/// Gradient of the scalar `y[index]` with respect to the input — a
+/// convenience wrapper used by attacks targeting one logit (or logit
+/// difference via `coeffs`).
+///
+/// `coeffs` weights each output: the differentiated scalar is
+/// `Σ coeffs[k] · y[k]`.
+///
+/// # Panics
+///
+/// Panics if `coeffs.len()` differs from the network's output dimension.
+#[must_use]
+pub fn input_gradient(net: &Network, x: &[f64], coeffs: &[f64]) -> Vec<f64> {
+    let trace = net.forward_trace(x);
+    backward(net, &trace, coeffs).input
+}
+
+fn backward_layer(
+    layer: &Layer,
+    in_shape: Shape,
+    x: &[f64],
+    grad_out: &[f64],
+) -> (Vec<f64>, LayerGrad) {
+    match layer {
+        Layer::Dense(d) => {
+            let grad_in = d.weight.tr_matvec(grad_out);
+            let mut gw = Vec::with_capacity(d.out_dim() * d.in_dim());
+            for &g in grad_out {
+                for &xi in x {
+                    gw.push(g * xi);
+                }
+            }
+            (
+                grad_in,
+                LayerGrad {
+                    weight: gw,
+                    bias: grad_out.to_vec(),
+                },
+            )
+        }
+        Layer::Conv2d(conv) => {
+            let Shape::Image { h, w, .. } = in_shape else {
+                panic!("Conv2d backward on flat input");
+            };
+            let (oh, ow) = conv.output_hw(h, w).expect("validated at construction");
+            let mut grad_in = vec![0.0; x.len()];
+            let mut gw = vec![0.0; conv.weight.len()];
+            let mut gb = vec![0.0; conv.out_c];
+            let pad = conv.padding as isize;
+            for oc in 0..conv.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out[oc * oh * ow + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        for ic in 0..conv.in_c {
+                            for ky in 0..conv.kh {
+                                let iy = (oy * conv.stride + ky) as isize - pad;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..conv.kw {
+                                    let ix = (ox * conv.stride + kx) as isize - pad;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xin = ic * h * w + iy as usize * w + ix as usize;
+                                    grad_in[xin] += conv.w(oc, ic, ky, kx) * g;
+                                    gw[conv.w_index(oc, ic, ky, kx)] += x[xin] * g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (
+                grad_in,
+                LayerGrad {
+                    weight: gw,
+                    bias: gb,
+                },
+            )
+        }
+        Layer::AvgPool2d(pool) => {
+            let Shape::Image { c, h, w } = in_shape else {
+                panic!("AvgPool2d backward on flat input");
+            };
+            let (oh, ow) = pool.output_hw(h, w).expect("validated at construction");
+            let k = pool.k;
+            let scale = 1.0 / (k * k) as f64;
+            let mut grad_in = vec![0.0; x.len()];
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out[ch * oh * ow + oy * ow + ox] * scale;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                grad_in[ch * h * w + (oy * k + dy) * w + (ox * k + dx)] += g;
+                            }
+                        }
+                    }
+                }
+            }
+            (grad_in, LayerGrad::default())
+        }
+        Layer::Relu => {
+            let grad_in = x
+                .iter()
+                .zip(grad_out)
+                .map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 })
+                .collect();
+            (grad_in, LayerGrad::default())
+        }
+        Layer::Flatten => (grad_out.to_vec(), LayerGrad::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Conv2d;
+    use abonn_tensor::Matrix;
+
+    /// Checks the analytic input gradient against central finite
+    /// differences of the scalar `coeffs · net(x)`.
+    fn check_input_gradient(net: &Network, x: &[f64], coeffs: &[f64]) {
+        let analytic = input_gradient(net, x, coeffs);
+        let eps = 1e-5;
+        for i in 0..x.len() {
+            let mut xp = x.to_vec();
+            let mut xm = x.to_vec();
+            xp[i] += eps;
+            xm[i] -= eps;
+            let fp: f64 = net
+                .forward(&xp)
+                .iter()
+                .zip(coeffs)
+                .map(|(y, c)| y * c)
+                .sum();
+            let fm: f64 = net
+                .forward(&xm)
+                .iter()
+                .zip(coeffs)
+                .map(|(y, c)| y * c)
+                .sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-5,
+                "input grad {i}: analytic {} vs numeric {numeric}",
+                analytic[i]
+            );
+        }
+    }
+
+    fn dense_net() -> Network {
+        Network::new(
+            Shape::Flat(3),
+            vec![
+                Layer::dense(
+                    Matrix::from_rows(&[&[0.4, -0.2, 0.1], &[-0.3, 0.5, 0.7]]),
+                    vec![0.05, -0.1],
+                ),
+                Layer::relu(),
+                Layer::dense(
+                    Matrix::from_rows(&[&[1.0, -1.5], &[0.3, 0.9]]),
+                    vec![0.0, 0.2],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_input_gradient_matches_finite_differences() {
+        let net = dense_net();
+        // Keep away from ReLU kinks so finite differences are valid.
+        check_input_gradient(&net, &[0.9, 0.8, -0.3], &[1.0, -0.5]);
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_differences() {
+        let conv = Conv2d::new(
+            1,
+            2,
+            2,
+            2,
+            1,
+            1,
+            (0..8).map(|i| 0.1 * (i as f64) - 0.35).collect(),
+            vec![0.1, -0.2],
+        );
+        let net = Network::new(
+            Shape::Image { c: 1, h: 3, w: 3 },
+            vec![
+                Layer::Conv2d(conv),
+                Layer::relu(),
+                Layer::flatten(),
+                Layer::dense(
+                    Matrix::from_fn(2, 32, |i, j| 0.05 * ((i + j) as f64) - 0.4),
+                    vec![0.0, 0.0],
+                ),
+            ],
+        )
+        .unwrap();
+        let x: Vec<f64> = (0..9).map(|i| 0.23 * (i as f64) - 1.0).collect();
+        check_input_gradient(&net, &x, &[0.7, -1.0]);
+    }
+
+    #[test]
+    fn avg_pool_input_gradient_matches_finite_differences() {
+        let net = Network::new(
+            Shape::Image { c: 1, h: 4, w: 4 },
+            vec![
+                Layer::avg_pool(2),
+                Layer::flatten(),
+                Layer::dense(
+                    Matrix::from_fn(2, 4, |i, j| 0.3 * (i as f64) - 0.2 * (j as f64) + 0.1),
+                    vec![0.05, -0.05],
+                ),
+            ],
+        )
+        .unwrap();
+        let x: Vec<f64> = (0..16).map(|i| 0.1 * (i as f64) - 0.7).collect();
+        check_input_gradient(&net, &x, &[1.0, -0.5]);
+    }
+
+    #[test]
+    fn dense_parameter_gradients_match_finite_differences() {
+        let net = dense_net();
+        let x = [0.9, 0.8, -0.3];
+        let coeffs = [1.0, 0.0];
+        let trace = net.forward_trace(&x);
+        let grads = backward(&net, &trace, &coeffs);
+        let eps = 1e-5;
+
+        // Perturb the first dense layer's weight (0, 1).
+        let perturbed = |delta: f64| {
+            let mut net2 = net.clone();
+            if let Layer::Dense(d) = &mut net2.layers_mut()[0] {
+                let v = d.weight.get(0, 1);
+                d.weight.set(0, 1, v + delta);
+            }
+            let y = net2.forward(&x);
+            y[0] * coeffs[0] + y[1] * coeffs[1]
+        };
+        let numeric = (perturbed(eps) - perturbed(-eps)) / (2.0 * eps);
+        // Weight layout for dense grad is row-major out×in: index 0*3+1.
+        let analytic = grads.layers[0].weight[1];
+        assert!(
+            (analytic - numeric).abs() < 1e-6,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn relu_blocks_gradient_for_inactive_units() {
+        let net = Network::new(
+            Shape::Flat(1),
+            vec![
+                Layer::dense(Matrix::from_rows(&[&[1.0]]), vec![0.0]),
+                Layer::relu(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(input_gradient(&net, &[-1.0], &[1.0]), vec![0.0]);
+        assert_eq!(input_gradient(&net, &[1.0], &[1.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn conv_bias_gradient_counts_outputs() {
+        // A single conv output channel over a 2x2 output: bias grad is the
+        // sum of the output gradient.
+        let conv = Conv2d::new(1, 1, 2, 2, 1, 0, vec![0.0; 4], vec![0.0]);
+        let net = Network::new(
+            Shape::Image { c: 1, h: 3, w: 3 },
+            vec![Layer::Conv2d(conv), Layer::flatten()],
+        )
+        .unwrap();
+        let trace = net.forward_trace(&[0.0; 9]);
+        let grads = backward(&net, &trace, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(grads.layers[0].bias, vec![4.0]);
+    }
+}

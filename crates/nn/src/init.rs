@@ -1,0 +1,84 @@
+//! Weight initialisation helpers.
+
+use crate::layer::{Conv2d, Dense, Layer};
+use abonn_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Creates a dense layer with Xavier/Glorot-uniform weights and zero bias.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let layer = abonn_nn::init::dense_xavier(4, 3, &mut rng);
+/// assert_eq!(layer.output_shape(abonn_nn::Shape::Flat(4)), Some(abonn_nn::Shape::Flat(3)));
+/// ```
+#[must_use]
+pub fn dense_xavier(in_dim: usize, out_dim: usize, rng: &mut SmallRng) -> Layer {
+    let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+    let weight = Matrix::from_fn(out_dim, in_dim, |_, _| rng.gen_range(-limit..limit));
+    Layer::Dense(Dense::new(weight, vec![0.0; out_dim]))
+}
+
+/// Creates a conv layer with Xavier/Glorot-uniform weights and zero bias.
+#[must_use]
+pub fn conv_xavier(
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    rng: &mut SmallRng,
+) -> Layer {
+    let fan_in = in_c * k * k;
+    let fan_out = out_c * k * k;
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let n = out_c * in_c * k * k;
+    let weight: Vec<f64> = (0..n).map(|_| rng.gen_range(-limit..limit)).collect();
+    Layer::Conv2d(Conv2d::new(
+        in_c,
+        out_c,
+        k,
+        k,
+        stride,
+        padding,
+        weight,
+        vec![0.0; out_c],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Shape;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_weights_respect_limit() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let layer = dense_xavier(10, 5, &mut rng);
+        let Layer::Dense(d) = &layer else { panic!() };
+        let limit = (6.0 / 15.0_f64).sqrt();
+        assert!(d.weight.max_abs() <= limit);
+        assert!(d.bias.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn conv_xavier_has_right_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let layer = conv_xavier(3, 8, 3, 1, 1, &mut rng);
+        assert_eq!(
+            layer.output_shape(Shape::Image { c: 3, h: 6, w: 6 }),
+            Some(Shape::Image { c: 8, h: 6, w: 6 })
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_same_weights() {
+        let a = dense_xavier(4, 4, &mut SmallRng::seed_from_u64(9));
+        let b = dense_xavier(4, 4, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,47 @@
+//! Feed-forward neural networks for the ABONN reproduction.
+//!
+//! The paper verifies fully-connected and convolutional ReLU classifiers
+//! trained on MNIST and CIFAR-10. This crate supplies the whole model
+//! substrate from scratch:
+//!
+//! * [`Layer`] / [`Network`] — validated feed-forward graphs of `Dense`,
+//!   `Conv2d`, `ReLU` and `Flatten` layers with an exact forward pass;
+//! * [`grad`] — reverse-mode differentiation (inputs and parameters), the
+//!   engine behind both SGD training and PGD falsification;
+//! * [`train`] — minibatch SGD with softmax cross-entropy, used to produce
+//!   genuinely trained models so verification instances are meaningful;
+//! * [`io`] — validated JSON persistence for trained models;
+//! * [`lowering`] — conversion to the canonical alternating
+//!   affine/ReLU form ([`CanonicalNetwork`]) consumed by every verifier.
+//!
+//! # Examples
+//!
+//! ```
+//! use abonn_nn::{Layer, Network, Shape};
+//! use abonn_tensor::Matrix;
+//!
+//! let net = Network::new(
+//!     Shape::Flat(2),
+//!     vec![
+//!         Layer::dense(Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 0.5]]), vec![0.0, -0.25]),
+//!         Layer::relu(),
+//!         Layer::dense(Matrix::from_rows(&[&[1.0, 1.0]]), vec![0.0]),
+//!     ],
+//! )?;
+//! let y = net.forward(&[1.0, 0.0]);
+//! assert_eq!(y, vec![1.25]);
+//! # Ok::<(), abonn_nn::NetworkError>(())
+//! ```
+
+mod layer;
+mod network;
+
+pub mod grad;
+pub mod init;
+pub mod io;
+pub mod lowering;
+pub mod train;
+
+pub use layer::{Conv2d, Dense, Layer, Shape};
+pub use lowering::{AffinePair, CanonicalNetwork};
+pub use network::{Network, NetworkError, Trace};

@@ -1,0 +1,330 @@
+//! Validated feed-forward networks.
+
+use crate::layer::{Layer, Shape};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a [`Network`] is constructed from incompatible layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkError {
+    /// Index of the offending layer.
+    pub layer: usize,
+    /// Shape arriving at that layer.
+    pub input_shape: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "layer {} rejects input shape {}: {}",
+            self.layer, self.input_shape, self.message
+        )
+    }
+}
+
+impl Error for NetworkError {}
+
+/// A validated feed-forward network.
+///
+/// Construction checks that every layer accepts the shape produced by its
+/// predecessor, so a successfully built network can always run a forward
+/// pass without shape panics.
+///
+/// # Examples
+///
+/// ```
+/// use abonn_nn::{Layer, Network, Shape};
+/// use abonn_tensor::Matrix;
+///
+/// let net = Network::new(
+///     Shape::Flat(3),
+///     vec![Layer::dense(Matrix::identity(3), vec![0.0; 3]), Layer::relu()],
+/// )?;
+/// assert_eq!(net.forward(&[-1.0, 0.5, 2.0]), vec![0.0, 0.5, 2.0]);
+/// # Ok::<(), abonn_nn::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "NetworkRepr", into = "NetworkRepr")]
+pub struct Network {
+    input_shape: Shape,
+    layers: Vec<Layer>,
+    /// Shape *entering* each layer; `shapes[i]` feeds `layers[i]`, and
+    /// `shapes[len]` is the output shape.
+    shapes: Vec<Shape>,
+}
+
+/// Serialised form of [`Network`]: deserialisation goes through
+/// [`Network::new`], so loaded models are always shape-valid.
+#[derive(Serialize, Deserialize)]
+struct NetworkRepr {
+    input_shape: Shape,
+    layers: Vec<Layer>,
+}
+
+impl TryFrom<NetworkRepr> for Network {
+    type Error = NetworkError;
+
+    fn try_from(r: NetworkRepr) -> Result<Self, Self::Error> {
+        Network::new(r.input_shape, r.layers)
+    }
+}
+
+impl From<Network> for NetworkRepr {
+    fn from(n: Network) -> Self {
+        NetworkRepr {
+            input_shape: n.input_shape,
+            layers: n.layers,
+        }
+    }
+}
+
+/// Per-layer activation record from [`Network::forward_trace`].
+///
+/// `values[0]` is the input and `values[i + 1]` is the output of layer `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Activations: input followed by each layer output.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// The network output (last activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty (never produced by
+    /// [`Network::forward_trace`]).
+    #[must_use]
+    pub fn output(&self) -> &[f64] {
+        self.values
+            .last()
+            .expect("trace contains at least the input")
+    }
+}
+
+impl Network {
+    /// Builds a network, validating layer compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] naming the first layer whose input shape is
+    /// incompatible.
+    pub fn new(input_shape: Shape, layers: Vec<Layer>) -> Result<Self, NetworkError> {
+        let mut shapes = Vec::with_capacity(layers.len() + 1);
+        let mut shape = input_shape;
+        shapes.push(shape);
+        for (i, layer) in layers.iter().enumerate() {
+            shape = layer.output_shape(shape).ok_or_else(|| NetworkError {
+                layer: i,
+                input_shape: shape.to_string(),
+                message: format!("incompatible with {layer:?}"),
+            })?;
+            shapes.push(shape);
+        }
+        Ok(Self {
+            input_shape,
+            layers,
+            shapes,
+        })
+    }
+
+    /// The declared input shape.
+    #[must_use]
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// The inferred output shape.
+    #[must_use]
+    pub fn output_shape(&self) -> Shape {
+        *self.shapes.last().expect("shapes always non-empty")
+    }
+
+    /// Number of input scalars.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_shape.len()
+    }
+
+    /// Number of output scalars.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.output_shape().len()
+    }
+
+    /// The layers, in order.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by the SGD trainer). Layer
+    /// *shapes* must not be changed; only parameter values.
+    pub(crate) fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Shape entering layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > self.layers().len()`.
+    #[must_use]
+    pub fn shape_before(&self, i: usize) -> Shape {
+        self.shapes[i]
+    }
+
+    /// Total number of ReLU neurons (the `K` of the paper's Def. 1).
+    #[must_use]
+    pub fn num_relu_neurons(&self) -> usize {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Layer::Relu))
+            .map(|(i, _)| self.shapes[i].len())
+            .sum()
+    }
+
+    /// Runs a forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`Network::input_dim`].
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.input_dim(),
+            "Network::forward: bad input length"
+        );
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            cur = layer.apply(self.shapes[i], &cur);
+        }
+        cur
+    }
+
+    /// Runs a forward pass, recording every intermediate activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`Network::input_dim`].
+    #[must_use]
+    pub fn forward_trace(&self, x: &[f64]) -> Trace {
+        assert_eq!(
+            x.len(),
+            self.input_dim(),
+            "Network::forward_trace: bad input length"
+        );
+        let mut values = Vec::with_capacity(self.layers.len() + 1);
+        values.push(x.to_vec());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let next = layer.apply(self.shapes[i], values.last().expect("non-empty"));
+            values.push(next);
+        }
+        Trace { values }
+    }
+
+    /// Predicted class: argmax of the output logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad input length or an empty output.
+    #[must_use]
+    pub fn classify(&self, x: &[f64]) -> usize {
+        abonn_tensor::vecops::argmax(&self.forward(x)).expect("network has outputs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abonn_tensor::Matrix;
+
+    fn toy_net() -> Network {
+        // The running example of the paper's Fig. 1a has this shape:
+        // 2 inputs -> 2 hidden (ReLU) -> 1 output.
+        Network::new(
+            Shape::Flat(2),
+            vec![
+                Layer::dense(
+                    Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 1.0]]),
+                    vec![0.0, -1.0],
+                ),
+                Layer::relu(),
+                Layer::dense(Matrix::from_rows(&[&[1.0, -2.0]]), vec![0.5]),
+            ],
+        )
+        .expect("valid network")
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let net = toy_net();
+        // x = (1, 0): pre = (1, 1), post = (1, 1), out = 1 - 2 + 0.5 = -0.5
+        assert_eq!(net.forward(&[1.0, 0.0]), vec![-0.5]);
+        // x = (0, 0): pre = (0, -1), post = (0, 0), out = 0.5
+        assert_eq!(net.forward(&[0.0, 0.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn trace_records_all_layers() {
+        let net = toy_net();
+        let t = net.forward_trace(&[1.0, 0.0]);
+        assert_eq!(t.values.len(), 4); // input + 3 layers
+        assert_eq!(t.output(), &[-0.5]);
+        assert_eq!(t.values[1], vec![1.0, 1.0]); // pre-activations
+    }
+
+    #[test]
+    fn construction_rejects_bad_shapes() {
+        let err = Network::new(
+            Shape::Flat(3),
+            vec![Layer::dense(Matrix::zeros(1, 2), vec![0.0])],
+        )
+        .unwrap_err();
+        assert_eq!(err.layer, 0);
+        assert!(err.to_string().contains("flat(3)"));
+    }
+
+    #[test]
+    fn relu_neuron_count_sums_pre_relu_shapes() {
+        let net = toy_net();
+        assert_eq!(net.num_relu_neurons(), 2);
+    }
+
+    #[test]
+    fn classify_picks_argmax() {
+        let net = Network::new(
+            Shape::Flat(1),
+            vec![Layer::dense(
+                Matrix::from_rows(&[&[1.0], &[-1.0], &[0.5]]),
+                vec![0.0, 0.0, 0.0],
+            )],
+        )
+        .unwrap();
+        assert_eq!(net.classify(&[2.0]), 0);
+        assert_eq!(net.classify(&[-2.0]), 1);
+    }
+
+    #[test]
+    fn conv_then_flatten_then_dense_builds() {
+        let conv = crate::Conv2d::new(1, 2, 2, 2, 1, 0, vec![0.5; 8], vec![0.0; 2]);
+        let net = Network::new(
+            Shape::Image { c: 1, h: 3, w: 3 },
+            vec![
+                Layer::Conv2d(conv),
+                Layer::relu(),
+                Layer::flatten(),
+                Layer::dense(Matrix::zeros(2, 8), vec![0.0; 2]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.num_relu_neurons(), 8);
+    }
+}

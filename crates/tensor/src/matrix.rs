@@ -1,0 +1,550 @@
+//! Row-major dense matrix.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// All operations are bounds-checked; dimension mismatches panic with a
+/// message naming the offending shapes, because in this workspace a shape
+/// mismatch is always a programming error rather than a recoverable
+/// condition.
+///
+/// # Examples
+///
+/// ```
+/// use abonn_tensor::Matrix;
+///
+/// let eye = Matrix::identity(3);
+/// let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+/// assert_eq!(eye.matmul(&a), a);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "MatrixRepr", into = "MatrixRepr")]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Serialised form of [`Matrix`]; deserialisation re-validates the shape.
+#[derive(Serialize, Deserialize)]
+struct MatrixRepr {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl TryFrom<MatrixRepr> for Matrix {
+    type Error = String;
+
+    fn try_from(r: MatrixRepr) -> Result<Self, Self::Error> {
+        if r.data.len() != r.rows * r.cols {
+            return Err(format!(
+                "matrix {}x{} needs {} values, got {}",
+                r.rows,
+                r.cols,
+                r.rows * r.cols,
+                r.data.len()
+            ));
+        }
+        Ok(Matrix {
+            rows: r.rows,
+            cols: r.cols,
+            data: r.data,
+        })
+    }
+}
+
+impl From<Matrix> for MatrixRepr {
+    fn from(m: Matrix) -> Self {
+        MatrixRepr {
+            rows: m.rows,
+            cols: m.cols,
+            data: m.data,
+        }
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "Matrix::from_rows: no rows given");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(
+                r.len(),
+                cols,
+                "Matrix::from_rows: row {i} has length {} but row 0 has length {cols}",
+                r.len()
+            );
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix that owns `data` laid out row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: {rows}x{cols} needs {} values, got {}",
+            rows * cols,
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at (`i`, `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "Matrix::get: index ({i}, {j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the entry at (`i`, `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(
+            i < self.rows && j < self.cols,
+            "Matrix::set: index ({i}, {j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "Matrix::row: {i} out of {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(
+            i < self.rows,
+            "Matrix::row_mut: {i} out of {} rows",
+            self.rows
+        );
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    #[must_use]
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "Matrix::col: {j} out of {} cols", self.cols);
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Borrows the backing row-major storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the backing row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing row-major storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Matrix–matrix product `self * rhs` using the cache-friendly `ikj`
+    /// loop order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "Matrix::matmul: {}x{} * {}x{} is not defined",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "Matrix::matvec: vector length {} does not match {} cols",
+            x.len(),
+            self.cols
+        );
+        (0..self.rows)
+            .map(|i| crate::vecops::dot(self.row(i), x))
+            .collect()
+    }
+
+    /// Vector–matrix product `x^T * self`, i.e. the transpose applied to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    #[must_use]
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "Matrix::tr_matvec: vector length {} does not match {} rows",
+            x.len(),
+            self.rows
+        );
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += xi * a;
+            }
+        }
+        out
+    }
+
+    /// Returns the transposed matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Returns `self * s` for a scalar `s`.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s * rhs` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, s: f64, rhs: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "Matrix::axpy: shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Maximum absolute entry, or 0.0 for an empty matrix.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Iterates over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / cols, k % cols, v))
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.axpy(1.0, rhs);
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs);
+        out
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4}", self.get(i, j))?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i as f64) - 2.0 * (j as f64));
+        assert_eq!(Matrix::identity(4).matmul(&a), a);
+        assert_eq!(a.matmul(&Matrix::identity(4)), a);
+    }
+
+    #[test]
+    fn matvec_matches_manual_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]);
+        let y = a.matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![6.0, 0.0]);
+    }
+
+    #[test]
+    fn tr_matvec_matches_transpose_matvec() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64 * 0.5 - 3.0);
+        let x = vec![1.0, -2.0, 0.5];
+        let via_transpose = a.transpose().matvec(&x);
+        let direct = a.tr_matvec(&x);
+        for (u, v) in direct.iter().zip(&via_transpose) {
+            assert!(approx_eq(*u, *v, 1e-12));
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let a = Matrix::from_fn(3, 7, |i, j| (i + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let b = a.scale(3.0);
+        let c = &(&a + &b) - &a;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn max_abs_and_frobenius() {
+        let a = Matrix::from_rows(&[&[3.0, -4.0]]);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!(approx_eq(a.frobenius_norm(), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn iter_yields_row_major_triples() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let triples: Vec<_> = a.iter().collect();
+        assert_eq!(
+            triples,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]
+        );
+    }
+
+    fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-10.0..10.0_f64, rows * cols)
+            .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_is_associative(
+            a in small_matrix(3, 4),
+            b in small_matrix(4, 2),
+            c in small_matrix(2, 5),
+        ) {
+            let left = a.matmul(&b).matmul(&c);
+            let right = a.matmul(&b.matmul(&c));
+            for ((_, _, u), (_, _, v)) in left.iter().zip(right.iter()) {
+                prop_assert!(approx_eq(u, v, 1e-6));
+            }
+        }
+
+        #[test]
+        fn matvec_is_linear(
+            a in small_matrix(4, 3),
+            x in proptest::collection::vec(-5.0..5.0_f64, 3),
+            y in proptest::collection::vec(-5.0..5.0_f64, 3),
+            s in -3.0..3.0_f64,
+        ) {
+            // A(x + s y) == A x + s A y
+            let combined: Vec<f64> = x.iter().zip(&y).map(|(u, v)| u + s * v).collect();
+            let lhs = a.matvec(&combined);
+            let ax = a.matvec(&x);
+            let ay = a.matvec(&y);
+            for i in 0..lhs.len() {
+                prop_assert!(approx_eq(lhs[i], ax[i] + s * ay[i], 1e-8));
+            }
+        }
+
+        #[test]
+        fn transpose_swaps_matmul_order(
+            a in small_matrix(3, 4),
+            b in small_matrix(4, 2),
+        ) {
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            for ((_, _, u), (_, _, v)) in lhs.iter().zip(rhs.iter()) {
+                prop_assert!(approx_eq(u, v, 1e-9));
+            }
+        }
+    }
+}

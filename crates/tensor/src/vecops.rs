@@ -1,0 +1,221 @@
+//! Slice-based vector helpers.
+//!
+//! These free functions operate on plain `&[f64]` slices so that callers are
+//! free to store vectors however they like (`Vec`, matrix rows, stack
+//! arrays).
+//!
+//! # Examples
+//!
+//! ```
+//! use abonn_tensor::vecops;
+//!
+//! assert_eq!(vecops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+//! ```
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "vecops::dot: length mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `y += s * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(s: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "vecops::axpy: length mismatch ({} vs {})",
+        x.len(),
+        y.len()
+    );
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += s * xi;
+    }
+}
+
+/// Element-wise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vecops::add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vecops::sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scales every element by `s`, returning a new vector.
+#[must_use]
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// L2 (Euclidean) norm.
+#[must_use]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L∞ (max-abs) norm; `0.0` for an empty slice.
+#[must_use]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// Index of the maximum element, ties broken toward the lower index.
+///
+/// Returns `None` for an empty slice or if every element is NaN.
+#[must_use]
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if v <= b => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element, ties broken toward the lower index.
+///
+/// Returns `None` for an empty slice or if every element is NaN.
+#[must_use]
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    argmax(&scale(a, -1.0))
+}
+
+/// Clamps every element of `x` into `[lo[i], hi[i]]` in place.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn clamp_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    assert!(
+        x.len() == lo.len() && x.len() == hi.len(),
+        "vecops::clamp_box: length mismatch"
+    );
+    for ((xi, &l), &h) in x.iter_mut().zip(lo).zip(hi) {
+        *xi = xi.clamp(l, h);
+    }
+}
+
+/// Numerically stable softmax.
+#[must_use]
+pub fn softmax(a: &[f64]) -> Vec<f64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let m = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = a.iter().map(|&v| (v - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn argmax_prefers_lower_index_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn argmin_mirrors_argmax() {
+        assert_eq!(argmin(&[4.0, -1.0, 7.0]), Some(1));
+    }
+
+    #[test]
+    fn clamp_box_projects_into_bounds() {
+        let mut x = vec![-2.0, 0.5, 9.0];
+        clamp_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_like_input() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!(approx_eq(p.iter().sum::<f64>(), 1.0, 1e-12));
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable_for_large_inputs() {
+        let a = softmax(&[1000.0, 1001.0]);
+        let b = softmax(&[0.0, 1.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(approx_eq(*x, *y, 1e-12));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn cauchy_schwarz(
+            pairs in proptest::collection::vec((-10.0..10.0_f64, -10.0..10.0_f64), 1..16),
+        ) {
+            let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            prop_assert!(dot(&a, &b).abs() <= norm2(&a) * norm2(&b) + 1e-9);
+        }
+
+        #[test]
+        fn norms_are_consistent(a in proptest::collection::vec(-10.0..10.0_f64, 1..16)) {
+            let inf = norm_inf(&a);
+            let two = norm2(&a);
+            prop_assert!(inf <= two + 1e-12);
+            prop_assert!(two <= inf * (a.len() as f64).sqrt() + 1e-9);
+        }
+
+        #[test]
+        fn softmax_is_a_distribution(a in proptest::collection::vec(-30.0..30.0_f64, 1..10)) {
+            let p = softmax(&a);
+            prop_assert!(approx_eq(p.iter().sum::<f64>(), 1.0, 1e-9));
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Semantic representation of a parsed VNN-LIB property.
+
+use std::collections::BTreeMap;
+
+/// Comparison relation of an output atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+}
+
+/// A linear combination of output variables plus a constant:
+/// `Σ coeffs[j]·Y_j + constant`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinearTerm {
+    /// Sparse coefficients keyed by output index.
+    pub coeffs: BTreeMap<usize, f64>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl LinearTerm {
+    /// The constant term `c`.
+    #[must_use]
+    pub fn constant(c: f64) -> Self {
+        Self {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The single variable `Y_j`.
+    #[must_use]
+    pub fn output(j: usize) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(j, 1.0);
+        Self {
+            coeffs,
+            constant: 0.0,
+        }
+    }
+
+    /// Adds `s · other` into `self`.
+    pub fn add_scaled(&mut self, s: f64, other: &LinearTerm) {
+        for (&j, &c) in &other.coeffs {
+            *self.coeffs.entry(j).or_insert(0.0) += s * c;
+        }
+        self.constant += s * other.constant;
+    }
+
+    /// Scales the whole term by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for c in self.coeffs.values_mut() {
+            *c *= s;
+        }
+        self.constant *= s;
+    }
+
+    /// Evaluates the term at concrete outputs `y`.
+    ///
+    /// Missing indices evaluate as `0`.
+    #[must_use]
+    pub fn eval(&self, y: &[f64]) -> f64 {
+        self.coeffs
+            .iter()
+            .map(|(&j, &c)| c * y.get(j).copied().unwrap_or(0.0))
+            .sum::<f64>()
+            + self.constant
+    }
+}
+
+/// One atomic output constraint `lhs (rel) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputAtom {
+    /// Left-hand linear term.
+    pub lhs: LinearTerm,
+    /// The relation.
+    pub rel: Relation,
+    /// Right-hand linear term.
+    pub rhs: LinearTerm,
+}
+
+impl OutputAtom {
+    /// Returns `true` when concrete outputs `y` satisfy the atom.
+    #[must_use]
+    pub fn holds(&self, y: &[f64]) -> bool {
+        let (l, r) = (self.lhs.eval(y), self.rhs.eval(y));
+        match self.rel {
+            Relation::Le => l <= r,
+            Relation::Ge => l >= r,
+        }
+    }
+}
+
+/// A parsed VNN-LIB property: input box + violation region.
+///
+/// The violation region is a disjunction of conjunctions of
+/// [`OutputAtom`]s; the property is *violated* by a network iff some input
+/// in the box produces outputs satisfying at least one disjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Property {
+    /// Per-input lower bounds.
+    pub input_lo: Vec<f64>,
+    /// Per-input upper bounds.
+    pub input_hi: Vec<f64>,
+    /// Number of declared outputs.
+    pub num_outputs: usize,
+    /// Disjunction (outer) of conjunctions (inner) describing violations.
+    pub violation: Vec<Vec<OutputAtom>>,
+}
+
+impl Property {
+    /// Number of declared inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.input_lo.len()
+    }
+
+    /// Returns `true` when concrete outputs `y` land in the violation
+    /// region.
+    #[must_use]
+    pub fn is_violation(&self, y: &[f64]) -> bool {
+        self.violation
+            .iter()
+            .any(|conj| conj.iter().all(|atom| atom.holds(y)))
+    }
+
+    /// Recovers `(label, adversarial_classes)` when the property has the
+    /// classification-robustness shape: every disjunct is a single atom
+    /// `Y_label ≤ Y_j` (equivalently `Y_j ≥ Y_label`) for a common
+    /// `label`.
+    ///
+    /// Returns `None` for properties outside that shape.
+    #[must_use]
+    pub fn as_robustness(&self) -> Option<(usize, Vec<usize>)> {
+        let mut label: Option<usize> = None;
+        let mut adversarial = Vec::new();
+        for conj in &self.violation {
+            let [atom] = conj.as_slice() else {
+                return None;
+            };
+            // Normalise to "small ≤ big": Le keeps sides, Ge swaps.
+            let (small, big) = match atom.rel {
+                Relation::Le => (&atom.lhs, &atom.rhs),
+                Relation::Ge => (&atom.rhs, &atom.lhs),
+            };
+            let single = |t: &LinearTerm| -> Option<usize> {
+                if t.constant != 0.0 || t.coeffs.len() != 1 {
+                    return None;
+                }
+                let (&j, &c) = t.coeffs.iter().next()?;
+                (c == 1.0).then_some(j)
+            };
+            let l = single(small)?;
+            let j = single(big)?;
+            match label {
+                None => label = Some(l),
+                Some(existing) if existing != l => return None,
+                _ => {}
+            }
+            adversarial.push(j);
+        }
+        adversarial.sort_unstable();
+        adversarial.dedup();
+        Some((label?, adversarial))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(label: usize, j: usize) -> OutputAtom {
+        OutputAtom {
+            lhs: LinearTerm::output(label),
+            rel: Relation::Le,
+            rhs: LinearTerm::output(j),
+        }
+    }
+
+    #[test]
+    fn linear_term_eval_and_arith() {
+        let mut t = LinearTerm::output(1);
+        t.add_scaled(-2.0, &LinearTerm::output(0));
+        t.add_scaled(1.0, &LinearTerm::constant(0.5));
+        assert_eq!(t.eval(&[1.0, 3.0]), 3.0 - 2.0 + 0.5);
+        t.scale(2.0);
+        assert_eq!(t.eval(&[1.0, 3.0]), 2.0 * (3.0 - 2.0 + 0.5));
+    }
+
+    #[test]
+    fn violation_semantics() {
+        let p = Property {
+            input_lo: vec![0.0],
+            input_hi: vec![1.0],
+            num_outputs: 3,
+            violation: vec![vec![atom(0, 1)], vec![atom(0, 2)]],
+        };
+        assert!(p.is_violation(&[0.1, 0.5, 0.0])); // Y_1 beats Y_0
+        assert!(p.is_violation(&[0.1, 0.0, 0.5])); // Y_2 beats Y_0
+        assert!(!p.is_violation(&[0.9, 0.5, 0.1])); // Y_0 wins
+    }
+
+    #[test]
+    fn robustness_shape_recovery() {
+        let p = Property {
+            input_lo: vec![0.0; 2],
+            input_hi: vec![1.0; 2],
+            num_outputs: 3,
+            violation: vec![vec![atom(0, 2)], vec![atom(0, 1)]],
+        };
+        assert_eq!(p.as_robustness(), Some((0, vec![1, 2])));
+    }
+
+    #[test]
+    fn non_robustness_shapes_are_rejected() {
+        // Two atoms in one conjunct.
+        let p = Property {
+            input_lo: vec![0.0],
+            input_hi: vec![1.0],
+            num_outputs: 3,
+            violation: vec![vec![atom(0, 1), atom(0, 2)]],
+        };
+        assert_eq!(p.as_robustness(), None);
+        // Mixed labels.
+        let q = Property {
+            input_lo: vec![0.0],
+            input_hi: vec![1.0],
+            num_outputs: 3,
+            violation: vec![vec![atom(0, 1)], vec![atom(1, 2)]],
+        };
+        assert_eq!(q.as_robustness(), None);
+    }
+
+    #[test]
+    fn ge_relation_also_recovers() {
+        let p = Property {
+            input_lo: vec![0.0],
+            input_hi: vec![1.0],
+            num_outputs: 2,
+            violation: vec![vec![OutputAtom {
+                lhs: LinearTerm::output(1),
+                rel: Relation::Ge,
+                rhs: LinearTerm::output(0),
+            }]],
+        };
+        assert_eq!(p.as_robustness(), Some((0, vec![1])));
+    }
+}

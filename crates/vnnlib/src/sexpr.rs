@@ -1,0 +1,162 @@
+//! Minimal s-expression tokenizer and reader.
+
+use std::fmt;
+
+/// An s-expression: an atom or a parenthesised list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sexpr {
+    /// A bare token (symbol or numeral).
+    Atom(String),
+    /// A `( … )` list.
+    List(Vec<Sexpr>),
+}
+
+impl fmt::Display for Sexpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexpr::Atom(a) => f.write_str(a),
+            Sexpr::List(items) => {
+                f.write_str("(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Error position and message from [`read_all`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SexprError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SexprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SexprError {}
+
+/// Reads every top-level s-expression in `text`. `;` starts a comment
+/// running to the end of the line.
+///
+/// # Errors
+///
+/// Returns [`SexprError`] on unbalanced parentheses or stray tokens.
+pub fn read_all(text: &str) -> Result<Vec<Sexpr>, SexprError> {
+    let mut tokens = tokenize(text);
+    let mut out = Vec::new();
+    while let Some(&(offset, ref tok)) = tokens.first() {
+        if tok == ")" {
+            return Err(SexprError {
+                offset,
+                message: "unexpected ')'".into(),
+            });
+        }
+        out.push(read_one(&mut tokens)?);
+    }
+    Ok(out)
+}
+
+fn tokenize(text: &str) -> Vec<(usize, String)> {
+    let mut tokens = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ';' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' => {
+                tokens.push((i, c.to_string()));
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            _ => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_whitespace() || c == '(' || c == ')' || c == ';' {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push((start, text[start..i].to_string()));
+            }
+        }
+    }
+    tokens
+}
+
+fn read_one(tokens: &mut Vec<(usize, String)>) -> Result<Sexpr, SexprError> {
+    let (offset, tok) = tokens.remove(0);
+    if tok == "(" {
+        let mut items = Vec::new();
+        loop {
+            match tokens.first() {
+                None => {
+                    return Err(SexprError {
+                        offset,
+                        message: "unclosed '('".into(),
+                    })
+                }
+                Some((_, t)) if t == ")" => {
+                    tokens.remove(0);
+                    return Ok(Sexpr::List(items));
+                }
+                Some(_) => items.push(read_one(tokens)?),
+            }
+        }
+    } else {
+        Ok(Sexpr::Atom(tok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_nested_lists() {
+        let out = read_all("(a (b c) d)").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to_string(), "(a (b c) d)");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let out = read_all("; header\n(x) ; trailing\n(y)").unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn unbalanced_parens_error() {
+        assert!(read_all("(a (b)").is_err());
+        assert!(read_all("a)").is_err());
+    }
+
+    #[test]
+    fn multiple_top_level_atoms() {
+        let out = read_all("a b 1.5").unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Sexpr::Atom("a".into()),
+                Sexpr::Atom("b".into()),
+                Sexpr::Atom("1.5".into())
+            ]
+        );
+    }
+}

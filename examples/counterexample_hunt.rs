@@ -1,0 +1,88 @@
+//! Reproduces the paper's motivating scenario (Fig. 2): on a *violated*
+//! instance, ABONN's potentiality-guided exploration reaches a
+//! counterexample after visiting far fewer sub-problems than breadth-first
+//! BaB, because it dives into the most-violated branch first.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example counterexample_hunt
+//! ```
+
+use abonn_repro::attack::Pgd;
+use abonn_repro::core::{
+    AbonnVerifier, BabBaseline, Budget, CrownStyle, RobustnessProblem, Verdict, Verifier,
+};
+use abonn_repro::data::{suite, zoo::ModelKind, SuiteConfig};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = ModelKind::CifarBase;
+    println!("training {}...", kind.paper_name());
+    let (network, _) = kind.trained_model(11);
+    let instances = suite::build_instances(
+        kind,
+        &network,
+        &SuiteConfig {
+            per_model: 24,
+            seed: 5,
+        },
+    );
+
+    // Pick the violated instances: the ones a strong PGD attack cracks.
+    let strong_attack = Pgd::new(60, 8, 0.2, 0);
+    let violated: Vec<_> = instances
+        .iter()
+        .filter(|inst| {
+            let lo: Vec<f64> = inst
+                .input
+                .iter()
+                .map(|v| (v - inst.epsilon).max(0.0))
+                .collect();
+            let hi: Vec<f64> = inst
+                .input
+                .iter()
+                .map(|v| (v + inst.epsilon).min(1.0))
+                .collect();
+            strong_attack
+                .attack(&network, inst.label, &lo, &hi)
+                .is_some()
+        })
+        .take(4)
+        .collect();
+    println!("found {} attackable (violated) instances\n", violated.len());
+
+    let budget = Budget::with_appver_calls(500).and_wall_limit(Duration::from_secs(10));
+    println!(
+        "{:<4} {:>9}  {:>22} {:>22} {:>22}",
+        "id", "epsilon", "ABONN", "BaB-baseline", "CROWN-style"
+    );
+    for inst in violated {
+        let problem =
+            RobustnessProblem::new(&network, inst.input.clone(), inst.label, inst.epsilon)?;
+        let cell = |r: &abonn_repro::core::RunResult| {
+            let tag = match &r.verdict {
+                Verdict::Falsified(_) => "falsified",
+                Verdict::Verified => "verified",
+                Verdict::Timeout => "timeout",
+            };
+            format!("{tag} ({} calls)", r.stats.appver_calls)
+        };
+        let a = AbonnVerifier::default().verify(&problem, &budget);
+        let b = BabBaseline::default().verify(&problem, &budget);
+        let c = CrownStyle::default().verify(&problem, &budget);
+        println!(
+            "{:<4} {:>9.4}  {:>22} {:>22} {:>22}",
+            inst.id,
+            inst.epsilon,
+            cell(&a),
+            cell(&b),
+            cell(&c),
+        );
+        if let Verdict::Falsified(w) = &a.verdict {
+            assert!(problem.validate_witness(w), "ABONN witness must be real");
+        }
+    }
+    println!("\n(the paper's RQ3: ABONN's advantage concentrates on violated instances)");
+    Ok(())
+}

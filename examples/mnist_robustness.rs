@@ -1,0 +1,80 @@
+//! The paper's headline workflow end to end: train an MNIST-like
+//! classifier, derive calibrated robustness instances, and race ABONN
+//! against the breadth-first BaB baseline.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example mnist_robustness
+//! ```
+
+use abonn_repro::core::{AbonnVerifier, BabBaseline, Budget, RobustnessProblem, Verdict, Verifier};
+use abonn_repro::data::{suite, zoo::ModelKind, SuiteConfig};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = ModelKind::MnistL2;
+    println!("training {} on synthetic data...", kind.paper_name());
+    let (network, train_data) = kind.trained_model(42);
+    let accuracy =
+        abonn_repro::nn::train::accuracy(&network, &train_data.inputs, &train_data.labels);
+    println!("training accuracy: {:.1}%", accuracy * 100.0);
+
+    let instances = suite::build_instances(
+        kind,
+        &network,
+        &SuiteConfig {
+            per_model: 6,
+            seed: 7,
+        },
+    );
+    println!("generated {} verification instances\n", instances.len());
+
+    let budget = Budget::with_appver_calls(400).and_wall_limit(Duration::from_secs(5));
+    let abonn = AbonnVerifier::default();
+    let bab = BabBaseline::default();
+
+    println!(
+        "{:<4} {:>8}   {:<12} {:>10}   {:<12} {:>10}  {:>8}",
+        "id", "epsilon", "ABONN", "calls", "BaB", "calls", "speedup"
+    );
+    for instance in &instances {
+        let problem = RobustnessProblem::new(
+            &network,
+            instance.input.clone(),
+            instance.label,
+            instance.epsilon,
+        )?;
+        let a = abonn.verify(&problem, &budget);
+        let b = bab.verify(&problem, &budget);
+        let speedup = b.stats.appver_calls as f64 / a.stats.appver_calls.max(1) as f64;
+        println!(
+            "{:<4} {:>8.4}   {:<12} {:>10}   {:<12} {:>10}  {:>7.1}x",
+            instance.id,
+            instance.epsilon,
+            verdict_tag(&a.verdict),
+            a.stats.appver_calls,
+            verdict_tag(&b.verdict),
+            b.stats.appver_calls,
+            speedup,
+        );
+        // Sanity: when both conclude, they must agree.
+        if a.verdict.is_solved() && b.verdict.is_solved() {
+            assert_eq!(
+                matches!(a.verdict, Verdict::Verified),
+                matches!(b.verdict, Verdict::Verified),
+                "verifiers disagreed on instance {}",
+                instance.id
+            );
+        }
+    }
+    Ok(())
+}
+
+fn verdict_tag(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Verified => "verified",
+        Verdict::Falsified(_) => "falsified",
+        Verdict::Timeout => "timeout",
+    }
+}

@@ -1,0 +1,62 @@
+//! Interchange-format workflow: export a verification instance as a
+//! VNN-LIB property plus a JSON model, reload both, and verify — the
+//! round trip used when sharing benchmarks with other tools.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example vnnlib_roundtrip
+//! ```
+
+use abonn_repro::core::{AbonnVerifier, Budget, RobustnessProblem, Verifier};
+use abonn_repro::data::{suite, zoo::ModelKind, SuiteConfig};
+use abonn_repro::nn::io as nn_io;
+use abonn_repro::vnnlib;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = ModelKind::MnistL2;
+    println!("training {}...", kind.paper_name());
+    let (network, _) = kind.trained_model(17);
+    let instances = suite::build_instances(
+        kind,
+        &network,
+        &SuiteConfig {
+            per_model: 1,
+            seed: 3,
+        },
+    );
+    let instance = instances.first().ok_or("no instance generated")?;
+
+    // Export: model as JSON, property as VNN-LIB.
+    let dir = std::env::temp_dir().join("abonn-vnnlib-example");
+    std::fs::create_dir_all(&dir)?;
+    let model_path = dir.join("model.json");
+    let prop_path = dir.join("property.vnnlib");
+    nn_io::save_network(&network, &model_path)?;
+    let text = vnnlib::write_robustness(
+        &instance.input,
+        instance.epsilon,
+        instance.label,
+        network.output_dim(),
+    );
+    std::fs::write(&prop_path, &text)?;
+    println!("wrote {} and {}", model_path.display(), prop_path.display());
+
+    // Import: reload both and rebuild the problem.
+    let reloaded = nn_io::load_network(&model_path)?;
+    let property = vnnlib::parse(&std::fs::read_to_string(&prop_path)?)?;
+    let problem = RobustnessProblem::from_vnnlib(&reloaded, &property)?;
+    println!(
+        "reloaded problem: {} inputs, label {}, {} margin rows",
+        property.num_inputs(),
+        problem.label().expect("robustness shape"),
+        problem.margin_net().output_dim(),
+    );
+
+    let result = AbonnVerifier::default().verify(&problem, &Budget::with_appver_calls(400));
+    println!(
+        "verdict: {:?} ({} AppVer calls)",
+        result.verdict, result.stats.appver_calls
+    );
+    Ok(())
+}

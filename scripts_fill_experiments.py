@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Splices the experiment-log outputs into EXPERIMENTS.md.
+
+Each `<!-- NAME -->` marker in EXPERIMENTS.md is replaced by the
+corresponding log from target/experiments/logs/, fenced as a code block.
+Idempotent: reruns replace the previously spliced blocks.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent
+LOGS = ROOT / "target" / "experiments" / "logs"
+DOC = ROOT / "EXPERIMENTS.md"
+
+MARKERS = {
+    "TABLE1": "table1.txt",
+    "TABLE2": "table2.txt",
+    "FIG3": "fig3.txt",
+    "FIG4": "fig4.txt",
+    "FIG5": "fig5.txt",
+    "FIG6": "fig6.txt",
+    "ABLATION": "ablation.txt",
+}
+
+
+def strip_progress(text: str) -> str:
+    lines = [
+        l
+        for l in text.splitlines()
+        if not l.startswith("  running ")
+        and not l.startswith("  preparing ")
+        and not l.startswith("  using cached")
+    ]
+    return "\n".join(lines).strip()
+
+
+def main() -> None:
+    doc = DOC.read_text()
+    for marker, log_name in MARKERS.items():
+        log = LOGS / log_name
+        if not log.exists():
+            print(f"skip {marker}: {log} missing")
+            continue
+        block = f"<!-- {marker} -->\n```text\n{strip_progress(log.read_text())}\n```\n<!-- /{marker} -->"
+        # Replace either the bare marker or a previously spliced block.
+        spliced = re.compile(
+            rf"<!-- {marker} -->.*?<!-- /{marker} -->", re.DOTALL
+        )
+        if spliced.search(doc):
+            doc = spliced.sub(block, doc)
+        else:
+            doc = doc.replace(f"<!-- {marker} -->", block)
+        print(f"spliced {marker}")
+    DOC.write_text(doc)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+#!/bin/bash
+cd /root/repo
+L=target/experiments/logs
+B=target/release
+mkdir -p "$L"
+{
+  $B/table1 --scale full > $L/table1.txt 2>&1
+  $B/table2 --scale full --fresh > $L/table2.txt 2>&1
+  $B/fig3 --scale full > $L/fig3.txt 2>&1
+  $B/fig4 --scale full > $L/fig4.txt 2>&1
+  $B/fig6 --scale full > $L/fig6.txt 2>&1
+  $B/fig5 --scale default > $L/fig5.txt 2>&1
+  $B/ablation --scale default > $L/ablation.txt 2>&1
+  $B/export_suite --scale full > $L/export_suite.txt 2>&1
+  echo ALL_EXPERIMENTS_DONE
+} >> $L/driver.log 2>&1

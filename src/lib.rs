@@ -1,0 +1,23 @@
+//! Umbrella crate for the ABONN reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so the top-level `examples/`
+//! and `tests/` can exercise the whole stack, and so downstream users can
+//! depend on a single crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use abonn_repro::tensor::Matrix;
+//!
+//! let m = Matrix::identity(2);
+//! assert_eq!(m.get(0, 0), 1.0);
+//! ```
+
+pub use abonn_attack as attack;
+pub use abonn_bound as bound;
+pub use abonn_core as core;
+pub use abonn_data as data;
+pub use abonn_lp as lp;
+pub use abonn_nn as nn;
+pub use abonn_tensor as tensor;
+pub use abonn_vnnlib as vnnlib;

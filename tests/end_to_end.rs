@@ -1,0 +1,145 @@
+//! Cross-crate integration: train → specify → verify with all three
+//! approaches, checking verdict agreement and witness validity.
+
+use abonn_repro::core::{
+    AbonnVerifier, BabBaseline, Budget, CrownStyle, RobustnessProblem, Verdict, Verifier,
+};
+use abonn_repro::data::{suite, zoo::ModelKind, SuiteConfig};
+use std::time::Duration;
+
+fn verdict_kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Verified => "verified",
+        Verdict::Falsified(_) => "falsified",
+        Verdict::Timeout => "timeout",
+    }
+}
+
+#[test]
+fn all_approaches_agree_on_mnist_l2_instances() {
+    let kind = ModelKind::MnistL2;
+    let (network, _) = kind.trained_model(21);
+    let instances = suite::build_instances(
+        kind,
+        &network,
+        &SuiteConfig {
+            per_model: 5,
+            seed: 13,
+        },
+    );
+    assert!(!instances.is_empty(), "suite generation produced instances");
+
+    let budget = Budget::with_appver_calls(300).and_wall_limit(Duration::from_secs(5));
+    let verifiers: Vec<Box<dyn Verifier>> = vec![
+        Box::new(AbonnVerifier::default()),
+        Box::new(BabBaseline::default()),
+        Box::new(CrownStyle::default()),
+    ];
+
+    for instance in &instances {
+        let problem = RobustnessProblem::new(
+            &network,
+            instance.input.clone(),
+            instance.label,
+            instance.epsilon,
+        )
+        .expect("valid instance");
+        let mut solved_verdicts = Vec::new();
+        for v in &verifiers {
+            let result = v.verify(&problem, &budget);
+            if let Verdict::Falsified(w) = &result.verdict {
+                assert!(
+                    problem.validate_witness(w),
+                    "{} returned an invalid witness on instance {}",
+                    v.name(),
+                    instance.id
+                );
+            }
+            if result.verdict.is_solved() {
+                solved_verdicts.push(verdict_kind(&result.verdict));
+            }
+        }
+        // Everyone who finished must say the same thing.
+        assert!(
+            solved_verdicts.windows(2).all(|w| w[0] == w[1]),
+            "approaches disagree on instance {}: {solved_verdicts:?}",
+            instance.id
+        );
+    }
+}
+
+#[test]
+fn conv_model_pipeline_works_end_to_end() {
+    let kind = ModelKind::CifarBase;
+    let (network, _) = kind.trained_model(22);
+    let instances = suite::build_instances(
+        kind,
+        &network,
+        &SuiteConfig {
+            per_model: 2,
+            seed: 14,
+        },
+    );
+    assert!(!instances.is_empty());
+    let budget = Budget::with_appver_calls(120).and_wall_limit(Duration::from_secs(6));
+    for instance in &instances {
+        let problem = RobustnessProblem::new(
+            &network,
+            instance.input.clone(),
+            instance.label,
+            instance.epsilon,
+        )
+        .expect("valid instance");
+        let result = AbonnVerifier::default().verify(&problem, &budget);
+        // The run must terminate within budget with consistent stats.
+        assert!(result.stats.appver_calls <= budget.max_appver_calls + 2);
+        if let Verdict::Falsified(w) = &result.verdict {
+            assert!(problem.validate_witness(w));
+        }
+    }
+}
+
+#[test]
+fn verified_verdicts_resist_a_strong_attack() {
+    use abonn_repro::attack::Pgd;
+    let kind = ModelKind::MnistL2;
+    let (network, _) = kind.trained_model(23);
+    let instances = suite::build_instances(
+        kind,
+        &network,
+        &SuiteConfig {
+            per_model: 6,
+            seed: 15,
+        },
+    );
+    let budget = Budget::with_appver_calls(300).and_wall_limit(Duration::from_secs(5));
+    let mut checked = 0;
+    for instance in &instances {
+        let problem = RobustnessProblem::new(
+            &network,
+            instance.input.clone(),
+            instance.label,
+            instance.epsilon,
+        )
+        .expect("valid instance");
+        let result = AbonnVerifier::default().verify(&problem, &budget);
+        if result.verdict == Verdict::Verified {
+            // A verified region must defeat a much stronger attack than
+            // anything used internally.
+            let attack = Pgd::new(80, 10, 0.2, 99);
+            let adv = attack.attack(
+                &network,
+                instance.label,
+                problem.region().lo(),
+                problem.region().hi(),
+            );
+            assert!(
+                adv.is_none(),
+                "PGD cracked an instance ABONN verified (id {})",
+                instance.id
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no instance was verified; suite is degenerate");
+}

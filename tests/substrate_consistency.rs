@@ -1,0 +1,119 @@
+//! Cross-crate consistency: lowering, bound soundness, and spec encoding
+//! checked against each other on the real benchmark models.
+
+use abonn_repro::bound::{AlphaCrown, AppVer, DeepPoly, Ibp, SplitSet};
+use abonn_repro::core::RobustnessProblem;
+use abonn_repro::data::zoo::ModelKind;
+use abonn_repro::nn::CanonicalNetwork;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn lowered_zoo_models_match_direct_forward() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    for kind in ModelKind::ALL {
+        let net = kind.architecture(5);
+        let canon = CanonicalNetwork::from_network(&net).expect("zoo models lower");
+        for _ in 0..5 {
+            let x: Vec<f64> = (0..net.input_dim())
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect();
+            let direct = net.forward(&x);
+            let lowered = canon.forward(&x);
+            for (a, b) in direct.iter().zip(&lowered) {
+                assert!(
+                    (a - b).abs() < 1e-8,
+                    "{kind:?}: lowering mismatch {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn margin_net_sign_matches_classification_on_trained_model() {
+    let (net, data) = ModelKind::MnistL2.trained_model(31);
+    let problem =
+        RobustnessProblem::new(&net, data.inputs[0].clone(), data.labels[0], 0.05).unwrap();
+    let mut rng = SmallRng::seed_from_u64(32);
+    for _ in 0..30 {
+        let x: Vec<f64> = problem
+            .region()
+            .lo()
+            .iter()
+            .zip(problem.region().hi())
+            .map(|(&l, &h)| rng.gen_range(l..=h))
+            .collect();
+        let margins = problem.margin_net().forward(&x);
+        let all_positive = margins.iter().all(|&m| m > 0.0);
+        let correctly_classified = Some(net.classify(&x)) == problem.label();
+        // all margins positive ⇒ correctly classified; a violated margin
+        // ⇒ misclassified (ties break toward misclassification).
+        if all_positive {
+            assert!(correctly_classified, "positive margins but misclassified");
+        }
+        if !correctly_classified {
+            assert!(
+                margins.iter().any(|&m| m <= 0.0),
+                "misclassified but margins all positive"
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_engines_are_sound_on_a_trained_conv_model() {
+    let (net, data) = ModelKind::CifarBase.trained_model(33);
+    let problem =
+        RobustnessProblem::new(&net, data.inputs[1].clone(), data.labels[1], 0.01).unwrap();
+    let verifiers: Vec<Box<dyn AppVer>> = vec![
+        Box::new(Ibp::new()),
+        Box::new(DeepPoly::new()),
+        Box::new(AlphaCrown::new(1, 2, 0)),
+    ];
+    let mut rng = SmallRng::seed_from_u64(34);
+    let samples: Vec<Vec<f64>> = (0..10)
+        .map(|_| {
+            problem
+                .region()
+                .lo()
+                .iter()
+                .zip(problem.region().hi())
+                .map(|(&l, &h)| rng.gen_range(l..=h))
+                .collect()
+        })
+        .collect();
+    for v in &verifiers {
+        let analysis = v.analyze(problem.margin_net(), problem.region(), &SplitSet::new());
+        for x in &samples {
+            let min_margin = problem
+                .margin_net()
+                .forward(x)
+                .into_iter()
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                analysis.p_hat <= min_margin + 1e-6,
+                "{}: p_hat {} exceeds concrete margin {min_margin}",
+                v.name(),
+                analysis.p_hat
+            );
+        }
+    }
+}
+
+#[test]
+fn deeppoly_dominates_ibp_on_every_zoo_model() {
+    for kind in [ModelKind::MnistL2, ModelKind::MnistL4, ModelKind::CifarBase] {
+        let (net, data) = kind.trained_model(35);
+        let problem =
+            RobustnessProblem::new(&net, data.inputs[2].clone(), data.labels[2], 0.02).unwrap();
+        let ibp = Ibp::new().analyze(problem.margin_net(), problem.region(), &SplitSet::new());
+        let dp = DeepPoly::new().analyze(problem.margin_net(), problem.region(), &SplitSet::new());
+        assert!(
+            dp.p_hat >= ibp.p_hat - 1e-9,
+            "{kind:?}: DeepPoly {} looser than IBP {}",
+            dp.p_hat,
+            ibp.p_hat
+        );
+    }
+}
