@@ -14,6 +14,10 @@ pub struct Args {
     pub out_dir: PathBuf,
     /// Ignore cached run records and recompute.
     pub fresh: bool,
+    /// Worker-pool size for the parallel engine (≥ 1; defaults to the
+    /// machine's available parallelism). Reports are byte-identical
+    /// regardless of this value.
+    pub threads: usize,
 }
 
 impl Default for Args {
@@ -23,13 +27,14 @@ impl Default for Args {
             seed: 2025,
             out_dir: PathBuf::from("target/experiments"),
             fresh: false,
+            threads: abonn_core::pool::default_threads(),
         }
     }
 }
 
 impl Args {
-    /// Parses `--scale`, `--seed`, `--out-dir`, `--fresh` from an iterator
-    /// of raw arguments.
+    /// Parses `--scale`, `--seed`, `--out-dir`, `--fresh`, `--threads`
+    /// from an iterator of raw arguments.
     ///
     /// # Errors
     ///
@@ -53,15 +58,25 @@ impl Args {
                     args.out_dir = PathBuf::from(v);
                 }
                 "--fresh" => args.fresh = true,
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    args.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+                    if args.threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--scale smoke|default|full] [--seed N] [--out-dir DIR] [--fresh]"
+                        "usage: [--scale smoke|default|full] [--seed N] [--out-dir DIR] \
+                         [--fresh] [--threads N]"
                             .into(),
                     )
                 }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
             }
         }
+        // The pool the binaries build from this value needs >= 1 lane.
+        assert!(args.threads >= 1, "Args::parse produced an empty pool");
         Ok(args)
     }
 
@@ -92,6 +107,7 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.scale, Scale::Smoke);
         assert!(!a.fresh);
+        assert!(a.threads >= 1, "default pool must have at least one lane");
     }
 
     #[test]
@@ -104,12 +120,15 @@ mod tests {
             "--out-dir",
             "/tmp/x",
             "--fresh",
+            "--threads",
+            "3",
         ])
         .unwrap();
         assert_eq!(a.scale, Scale::Full);
         assert_eq!(a.seed, 7);
         assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
         assert!(a.fresh);
+        assert_eq!(a.threads, 3);
     }
 
     #[test]
@@ -118,5 +137,27 @@ mod tests {
         assert!(parse(&["--scale", "tiny"]).is_err());
         assert!(parse(&["--seed", "abc"]).is_err());
         assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(parse(&["--bogus"]).unwrap_err().contains("--bogus"));
+        assert!(parse(&["--scale", "tiny"]).unwrap_err().contains("tiny"));
+        assert!(parse(&["--seed", "abc"]).unwrap_err().contains("abc"));
+        assert!(parse(&["--seed", "-3"]).unwrap_err().contains("-3"));
+        assert!(parse(&["--seed"]).unwrap_err().contains("--seed"));
+        assert!(parse(&["--out-dir"]).unwrap_err().contains("--out-dir"));
+        assert!(parse(&["--help"]).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn rejects_bad_thread_counts() {
+        assert!(parse(&["--threads"]).unwrap_err().contains("--threads"));
+        assert!(parse(&["--threads", "zero"]).unwrap_err().contains("zero"));
+        assert!(parse(&["--threads", "-2"]).unwrap_err().contains("-2"));
+        assert!(parse(&["--threads", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert_eq!(parse(&["--threads", "1"]).unwrap().threads, 1);
     }
 }

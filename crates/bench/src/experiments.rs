@@ -6,11 +6,11 @@ use crate::report::{
     save_records, write_csv,
 };
 use crate::scenario::{
-    group_by_model_approach, prepare_all, prepare_model_cached, run_grid, run_instance, Approach,
-    InstanceRecord,
+    group_by_model_approach, prepare_all, prepare_model_cached, run_grid, run_instance_pooled,
+    Approach, InstanceRecord,
 };
 use abonn_core::heuristics::HeuristicKind;
-use abonn_core::{AbonnConfig, AbonnVerifier, BabBaseline, CrownStyle, Verifier};
+use abonn_core::{AbonnConfig, AbonnVerifier, BabBaseline, CrownStyle, Verifier, WorkerPool};
 use abonn_data::zoo::ModelKind;
 use abonn_nn::CanonicalNetwork;
 use std::collections::BTreeMap;
@@ -80,7 +80,8 @@ pub fn rq1_records(args: &Args) -> Vec<InstanceRecord> {
     }
     eprintln!("  preparing models (training, deterministic in the seed)...");
     let models = prepare_all(args.scale, args.seed, &args.out_dir);
-    let records = run_grid(&models, &Approach::rq1_lineup(), &args.scale.budget());
+    let pool = Arc::new(WorkerPool::new(args.threads));
+    let records = run_grid(&models, &Approach::rq1_lineup(), &args.scale.budget(), &pool);
     save_records(&cache, &records).expect("persist rq1 records");
     records
 }
@@ -100,7 +101,9 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 // ---------------------------------------------------------------------
 
 /// Regenerates Table II: per model and approach, the number of solved
-/// instances and the average cost (both wall seconds and `AppVer` calls).
+/// instances and the average cost in `AppVer` calls (the paper's
+/// machine-independent cost unit; wall time varies per run and machine,
+/// so the persisted artefact sticks to the reproducible metric).
 #[must_use]
 pub fn table2(args: &Args, records: &[InstanceRecord]) -> String {
     let grouped = group_by_model_approach(records);
@@ -113,10 +116,9 @@ pub fn table2(args: &Args, records: &[InstanceRecord]) -> String {
             match grouped.get(&key) {
                 Some(group) => {
                     let solved = group.iter().filter(|r| r.solved()).count();
-                    let avg_secs = mean(group.iter().map(|r| r.wall_secs));
                     let avg_calls = mean(group.iter().map(|r| r.appver_calls as f64));
                     row.push(solved.to_string());
-                    row.push(format!("{avg_secs:.2}s/{avg_calls:.0}c"));
+                    row.push(format!("{avg_calls:.0}"));
                 }
                 None => {
                     row.push("-".into());
@@ -129,11 +131,11 @@ pub fn table2(args: &Args, records: &[InstanceRecord]) -> String {
     let headers = [
         "Model",
         "BaB solved",
-        "BaB time",
+        "BaB calls",
         "CROWN solved",
-        "CROWN time",
+        "CROWN calls",
         "ABONN solved",
-        "ABONN time",
+        "ABONN calls",
     ];
     let table = fmt_table(&headers, &rows);
     let path = out_path(&args.out_dir, "table2.csv");
@@ -142,18 +144,18 @@ pub fn table2(args: &Args, records: &[InstanceRecord]) -> String {
         &[
             "model",
             "bab_solved",
-            "bab_time",
+            "bab_calls",
             "crown_solved",
-            "crown_time",
+            "crown_calls",
             "abonn_solved",
-            "abonn_time",
+            "abonn_calls",
         ],
         &rows,
     )
     .expect("write table2.csv");
     format!(
         "Table II: RQ1 - solved instances and average cost\n\
-         (cost shown as wall-seconds / AppVer-calls; budget {:?})\n\n{table}\n(written {})\n",
+         (cost = mean AppVer calls; budget {:?})\n\n{table}\n(written {})\n",
         args.scale.budget(),
         path.display()
     )
@@ -192,9 +194,10 @@ pub fn fig3(args: &Args, records: &[InstanceRecord]) -> String {
 // Fig. 4
 // ---------------------------------------------------------------------
 
-/// Regenerates Fig. 4: per-instance ABONN cost (x) against the speedup
-/// over BaB-baseline (y), one panel per model. Printed as a summary
-/// table; the full scatter series goes to CSV.
+/// Regenerates Fig. 4: per-instance ABONN cost in `AppVer` calls (x)
+/// against the speedup over BaB-baseline (y, ratio of call counts), one
+/// panel per model. Printed as a summary table; the full scatter series
+/// goes to CSV.
 #[must_use]
 pub fn fig4(args: &Args, records: &[InstanceRecord]) -> String {
     let mut by_instance: BTreeMap<(String, usize), (Option<f64>, Option<f64>)> = BTreeMap::new();
@@ -203,8 +206,8 @@ pub fn fig4(args: &Args, records: &[InstanceRecord]) -> String {
             .entry((r.model.clone(), r.instance_id))
             .or_default();
         match r.approach.as_str() {
-            "ABONN" => entry.0 = Some(r.wall_secs),
-            "BaB-baseline" => entry.1 = Some(r.wall_secs),
+            "ABONN" => entry.0 = Some(r.appver_calls as f64),
+            "BaB-baseline" => entry.1 = Some(r.appver_calls as f64),
             _ => {}
         }
     }
@@ -226,7 +229,7 @@ pub fn fig4(args: &Args, records: &[InstanceRecord]) -> String {
                 csv_rows.push(vec![
                     m.clone(),
                     id.to_string(),
-                    format!("{a:.4}"),
+                    format!("{a:.0}"),
                     format!("{speedup:.3}"),
                 ]);
             }
@@ -251,7 +254,7 @@ Panel {model}:
     let path = out_path(&args.out_dir, "fig4.csv");
     write_csv(
         &path,
-        &["model", "instance", "abonn_secs", "speedup_vs_bab"],
+        &["model", "instance", "abonn_calls", "speedup_vs_bab"],
         &csv_rows,
     )
     .expect("write fig4.csv");
@@ -266,7 +269,8 @@ Panel {model}:
         &summary_rows,
     );
     format!(
-        "Fig. 4: RQ1 - per-instance speedup of ABONN over BaB-baseline\n\n{table}\n{panels}\n\
+        "Fig. 4: RQ1 - per-instance speedup of ABONN over BaB-baseline\n\
+         (cost = AppVer calls)\n\n{table}\n{panels}\n\
          (full scatter series written {})\n",
         path.display()
     )
@@ -290,9 +294,10 @@ pub fn fig5(args: &Args) -> String {
     // The sweep multiplies the grid by 20 (λ × c) combinations; a reduced
     // per-run budget keeps it tractable while preserving the *relative*
     // comparison the heatmap is about.
+    // Call-only like `Scale::budget`, so the heatmap is reproducible.
     let budget =
-        abonn_core::Budget::with_appver_calls(args.scale.budget().max_appver_calls.min(500))
-            .and_wall_limit(std::time::Duration::from_secs(6));
+        abonn_core::Budget::with_appver_calls(args.scale.budget().max_appver_calls.min(500));
+    let pool = Arc::new(WorkerPool::new(args.threads));
     let mut out = String::from("Fig. 5: RQ2 - hyperparameter impact (cells: solved/avg-calls)\n");
     let mut csv_rows = Vec::new();
     for kind in panels {
@@ -307,10 +312,15 @@ pub fn fig5(args: &Args) -> String {
             let mut row = vec![format!("lambda={lambda}")];
             for &c in &C_GRID {
                 let approach = Approach::Abonn { lambda, c };
+                // Instances of one cell run concurrently; `map` returns
+                // them in instance order, so the heatmap and CSV are
+                // independent of the thread count.
+                let recs = pool.map(prepared.instances.iter().collect(), |instance| {
+                    run_instance_pooled(&prepared, instance, approach, &budget, &pool)
+                });
                 let mut solved = 0usize;
                 let mut calls = Vec::new();
-                for instance in &prepared.instances {
-                    let rec = run_instance(&prepared, instance, approach, &budget);
+                for (instance, rec) in prepared.instances.iter().zip(recs) {
                     if rec.solved() {
                         solved += 1;
                     }
@@ -367,9 +377,9 @@ fn instance_truth(records: &[&InstanceRecord]) -> Option<&'static str> {
     }
 }
 
-/// Regenerates Fig. 6: verification-time box statistics of BaB-baseline
-/// vs ABONN, separately for violated and certified instances, on
-/// MNIST_L2 and CIFAR_DEEP.
+/// Regenerates Fig. 6: verification-cost (`AppVer` calls) box statistics
+/// of BaB-baseline vs ABONN, separately for violated and certified
+/// instances, on MNIST_L2 and CIFAR_DEEP.
 #[must_use]
 pub fn fig6(args: &Args, records: &[InstanceRecord]) -> String {
     let panels = [ModelKind::MnistL2, ModelKind::CifarDeep];
@@ -384,33 +394,33 @@ pub fn fig6(args: &Args, records: &[InstanceRecord]) -> String {
         }
         for truth in ["violated", "certified"] {
             for approach in ["BaB-baseline", "ABONN"] {
-                let times: Vec<f64> = by_id
+                let costs: Vec<f64> = by_id
                     .values()
                     .filter(|rs| instance_truth(rs) == Some(truth))
                     .flat_map(|rs| rs.iter().filter(|r| r.approach == approach))
-                    .map(|r| r.wall_secs)
+                    .map(|r| r.appver_calls as f64)
                     .collect();
-                if let Some(q) = quartiles(&times) {
+                if let Some(q) = quartiles(&costs) {
                     rows.push(vec![
                         model.to_string(),
                         truth.to_string(),
                         approach.to_string(),
-                        times.len().to_string(),
-                        format!("{:.3}", q[0]),
-                        format!("{:.3}", q[1]),
-                        format!("{:.3}", q[2]),
-                        format!("{:.3}", q[3]),
-                        format!("{:.3}", q[4]),
+                        costs.len().to_string(),
+                        format!("{:.1}", q[0]),
+                        format!("{:.1}", q[1]),
+                        format!("{:.1}", q[2]),
+                        format!("{:.1}", q[3]),
+                        format!("{:.1}", q[4]),
                     ]);
                     csv_rows.push(vec![
                         model.to_string(),
                         truth.to_string(),
                         approach.to_string(),
-                        format!("{:.4}", q[0]),
-                        format!("{:.4}", q[1]),
-                        format!("{:.4}", q[2]),
-                        format!("{:.4}", q[3]),
-                        format!("{:.4}", q[4]),
+                        format!("{:.1}", q[0]),
+                        format!("{:.1}", q[1]),
+                        format!("{:.1}", q[2]),
+                        format!("{:.1}", q[3]),
+                        format!("{:.1}", q[4]),
                     ]);
                 }
             }
@@ -432,7 +442,8 @@ pub fn fig6(args: &Args, records: &[InstanceRecord]) -> String {
     )
     .expect("write fig6.csv");
     format!(
-        "Fig. 6: RQ3 - time (s) box statistics, violated vs certified\n\n{table}\n(written {})\n",
+        "Fig. 6: RQ3 - cost (AppVer calls) box statistics, violated vs certified\n\n\
+         {table}\n(written {})\n",
         path.display()
     )
 }
@@ -448,11 +459,13 @@ pub fn fig6(args: &Args, records: &[InstanceRecord]) -> String {
 pub fn ablation(args: &Args) -> String {
     // Like Fig. 5, the ablation multiplies the grid by the variant count;
     // cap the per-run budget for tractability.
+    // Call-only like `Scale::budget`, so the ablation is reproducible.
     let budget =
-        abonn_core::Budget::with_appver_calls(args.scale.budget().max_appver_calls.min(800))
-            .and_wall_limit(std::time::Duration::from_secs(10));
+        abonn_core::Budget::with_appver_calls(args.scale.budget().max_appver_calls.min(800));
     let per_model = args.scale.per_model().min(6);
-    type VariantBuilder = Box<dyn Fn() -> Box<dyn Verifier>>;
+    // `Sync` so instances of one variant can be verified concurrently:
+    // each pool worker builds its own verifier from the shared builder.
+    type VariantBuilder = Box<dyn Fn() -> Box<dyn Verifier> + Sync>;
     let variants: Vec<(String, VariantBuilder)> = vec![
         (
             "ABONN default".into(),
@@ -578,13 +591,15 @@ pub fn ablation(args: &Args) -> String {
         .iter()
         .map(|&kind| prepare_model_cached(kind, per_model, args.seed, &args.out_dir))
         .collect();
+    let pool = Arc::new(WorkerPool::new(args.threads));
     for (name, build) in &variants {
         let mut row = vec![name.clone()];
         for p in &prepared {
-            let verifier = build();
-            let mut solved = 0usize;
-            let mut calls = Vec::new();
-            for instance in &p.instances {
+            // One verifier per instance so workers never share mutable
+            // state; `map` keeps instance order, so the table and CSV are
+            // independent of the thread count.
+            let results = pool.map(p.instances.iter().collect(), |instance| {
+                let verifier = build();
                 let problem = abonn_core::RobustnessProblem::new(
                     &p.network,
                     instance.input.clone(),
@@ -592,7 +607,11 @@ pub fn ablation(args: &Args) -> String {
                     instance.epsilon,
                 )
                 .expect("valid instance");
-                let result = verifier.verify(&problem, &budget);
+                verifier.verify(&problem, &budget)
+            });
+            let mut solved = 0usize;
+            let mut calls = Vec::new();
+            for (instance, result) in p.instances.iter().zip(results) {
                 if result.verdict.is_solved() {
                     solved += 1;
                 }

@@ -3,13 +3,13 @@
 
 use abonn_core::{
     AbonnConfig, AbonnVerifier, BabBaseline, Budget, CrownStyle, RobustnessProblem, Verdict,
-    Verifier,
+    Verifier, WorkerPool,
 };
 use abonn_data::{suite, zoo::ModelKind, SuiteConfig, VerificationInstance};
 use abonn_nn::Network;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::time::Duration;
+use std::sync::Arc;
 
 /// Experiment size: how many instances per model and how big the budgets
 /// are. `Smoke` is CI-sized, `Default` is the laptop-scale reproduction,
@@ -49,12 +49,17 @@ impl Scale {
     /// Per-instance budget.
     #[must_use]
     pub fn budget(&self) -> Budget {
+        // Call-only on purpose: AppVer calls are the paper's cost unit and
+        // are machine-independent, so suite reports are a pure function of
+        // (scale, seed) — byte-identical across reruns, machines, and
+        // `--threads` values. A wall limit would time out at a
+        // load-dependent call count and break that. Per-instance wall
+        // budgets remain supported (`Budget::and_wall_limit`) for callers
+        // that want them.
         match self {
-            Scale::Smoke => Budget::with_appver_calls(200).and_wall_limit(Duration::from_secs(4)),
-            Scale::Default => {
-                Budget::with_appver_calls(1_500).and_wall_limit(Duration::from_secs(15))
-            }
-            Scale::Full => Budget::with_appver_calls(4_000).and_wall_limit(Duration::from_secs(45)),
+            Scale::Smoke => Budget::with_appver_calls(200),
+            Scale::Default => Budget::with_appver_calls(1_500),
+            Scale::Full => Budget::with_appver_calls(4_000),
         }
     }
 
@@ -132,21 +137,34 @@ impl Approach {
     /// comparison.
     #[must_use]
     pub fn build(&self) -> Box<dyn Verifier> {
+        self.build_with_pool(Arc::new(WorkerPool::inline()))
+    }
+
+    /// Like [`Approach::build`], with the verifier's intra-run parallelism
+    /// (the paired phase analyses of ABONN, the frontier batches of
+    /// BaB-baseline) running on `pool`. Results are identical to
+    /// [`Approach::build`] for any pool size; the CROWN-style baseline is
+    /// sequential by design and ignores the pool.
+    #[must_use]
+    pub fn build_with_pool(&self, pool: Arc<WorkerPool>) -> Box<dyn Verifier> {
         let planet = || std::sync::Arc::new(abonn_bound::DeepPoly::planet());
         match self {
-            Approach::BabBaseline => Box::new(BabBaseline::new(
-                abonn_core::heuristics::HeuristicKind::DeepSplit,
-                planet(),
-            )),
+            Approach::BabBaseline => Box::new(
+                BabBaseline::new(abonn_core::heuristics::HeuristicKind::DeepSplit, planet())
+                    .with_pool(pool),
+            ),
             Approach::CrownStyle => Box::new(CrownStyle::default()),
-            Approach::Abonn { lambda, c } => Box::new(AbonnVerifier::new(
-                AbonnConfig {
-                    lambda: *lambda,
-                    c: *c,
-                    ..AbonnConfig::default()
-                },
-                planet(),
-            )),
+            Approach::Abonn { lambda, c } => Box::new(
+                AbonnVerifier::new(
+                    AbonnConfig {
+                        lambda: *lambda,
+                        c: *c,
+                        ..AbonnConfig::default()
+                    },
+                    planet(),
+                )
+                .with_pool(pool),
+            ),
         }
     }
 }
@@ -173,7 +191,12 @@ pub struct InstanceRecord {
     pub tree_size: usize,
     /// Deepest split reached.
     pub max_depth: usize,
-    /// Measured wall seconds.
+    /// Measured wall seconds. In memory only: wall time varies run to run
+    /// and machine to machine, so it is excluded from the persisted
+    /// JSON/CSV artefacts, which must be byte-identical across reruns and
+    /// thread counts (reports cost in `AppVer` calls instead; this field
+    /// deserialises as zero).
+    #[serde(skip)]
     pub wall_secs: f64,
 }
 
@@ -312,6 +335,30 @@ pub fn run_instance(
     approach: Approach,
     budget: &Budget,
 ) -> InstanceRecord {
+    run_instance_pooled(
+        prepared,
+        instance,
+        approach,
+        budget,
+        &Arc::new(WorkerPool::inline()),
+    )
+}
+
+/// Like [`run_instance`], with the verifier's intra-run parallelism on
+/// `pool`. The record is identical for any pool size (apart from the
+/// in-memory `wall_secs`).
+///
+/// # Panics
+///
+/// Panics if the instance is inconsistent with the prepared network.
+#[must_use]
+pub fn run_instance_pooled(
+    prepared: &PreparedModel,
+    instance: &VerificationInstance,
+    approach: Approach,
+    budget: &Budget,
+    pool: &Arc<WorkerPool>,
+) -> InstanceRecord {
     let problem = RobustnessProblem::new(
         &prepared.network,
         instance.input.clone(),
@@ -319,7 +366,7 @@ pub fn run_instance(
         instance.epsilon,
     )
     .expect("suite instances are valid specifications");
-    let verifier = approach.build();
+    let verifier = approach.build_with_pool(Arc::clone(pool));
     let result = verifier.verify(&problem, budget);
     InstanceRecord {
         model: prepared.kind.paper_name().to_string(),
@@ -335,29 +382,39 @@ pub fn run_instance(
     }
 }
 
-/// Runs the full `(models × approaches)` grid sequentially, printing
-/// one-line progress to stderr.
+/// Runs the full `(models × approaches × instances)` grid on `pool`,
+/// printing one-line progress to stderr.
+///
+/// Each instance keeps its own per-run budget (the wall limit applies to
+/// that instance's verifier, not to the grid), and the returned records
+/// are merged in the fixed `(model, approach, instance id)` grid order
+/// regardless of which thread finished first — so persisted reports are
+/// byte-identical for every pool size.
 #[must_use]
 pub fn run_grid(
     models: &[PreparedModel],
     approaches: &[Approach],
     budget: &Budget,
+    pool: &Arc<WorkerPool>,
 ) -> Vec<InstanceRecord> {
-    let mut records = Vec::new();
+    let mut tasks = Vec::new();
     for prepared in models {
         for approach in approaches {
             eprintln!(
-                "  running {} on {} ({} instances)...",
+                "  running {} on {} ({} instances, {} thread(s))...",
                 approach.label(),
                 prepared.kind.paper_name(),
-                prepared.instances.len()
+                prepared.instances.len(),
+                pool.threads(),
             );
             for instance in &prepared.instances {
-                records.push(run_instance(prepared, instance, *approach, budget));
+                tasks.push((prepared, *approach, instance));
             }
         }
     }
-    records
+    pool.map(tasks, |(prepared, approach, instance)| {
+        run_instance_pooled(prepared, instance, approach, budget, pool)
+    })
 }
 
 /// Groups records by `(model, approach)`.

@@ -9,6 +9,7 @@ use crate::driver::{
     check_candidate, resolve_exhausted_leaf, Budget, Clock, RunResult, RunStats, Verdict, Verifier,
 };
 use crate::heuristics::{BranchContext, HeuristicKind};
+use crate::pool::WorkerPool;
 use crate::spec::RobustnessProblem;
 use abonn_bound::{AppVer, DeepPoly, SplitSet, SplitSign};
 use std::collections::VecDeque;
@@ -26,6 +27,7 @@ pub struct BabBaseline {
     /// PGD polish steps for spurious candidates (0 = paper-plain).
     pub refine_steps: usize,
     appver: Arc<dyn AppVer>,
+    pool: Arc<WorkerPool>,
 }
 
 impl Default for BabBaseline {
@@ -34,6 +36,7 @@ impl Default for BabBaseline {
             heuristic: HeuristicKind::DeepSplit,
             refine_steps: 0,
             appver: Arc::new(DeepPoly::new()),
+            pool: Arc::new(WorkerPool::inline()),
         }
     }
 }
@@ -55,7 +58,20 @@ impl BabBaseline {
             heuristic,
             refine_steps: 0,
             appver,
+            pool: Arc::new(WorkerPool::inline()),
         }
+    }
+
+    /// Bounds the breadth-first frontier on `pool`: up to
+    /// [`WorkerPool::threads`] already-enqueued sub-problems are analyzed
+    /// concurrently per round ([`WorkerPool::map`]), but conclusions are
+    /// consumed strictly in FIFO order — verdict and `RunStats` are
+    /// bit-for-bit identical to the sequential search (analyses past an
+    /// early termination are discarded uncounted).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -79,55 +95,68 @@ impl Verifier for BabBaseline {
             },
         };
 
-        while let Some(splits) = queue.pop_front() {
-            if clock.exhausted() {
-                return finish(
-                    Verdict::Timeout,
-                    &clock,
-                    nodes_visited,
-                    tree_size,
-                    max_depth,
-                );
-            }
-            nodes_visited += 1;
-            max_depth = max_depth.max(splits.len());
-            clock.appver_calls += 1;
-            let analysis = self
-                .appver
-                .analyze(problem.margin_net(), problem.region(), &splits);
-            if analysis.verified() {
-                continue;
-            }
-            if let Some(w) = check_candidate(problem, &analysis, self.refine_steps) {
-                return finish(
-                    Verdict::Falsified(w),
-                    &clock,
-                    nodes_visited,
-                    tree_size,
-                    max_depth,
-                );
-            }
-            let ctx = BranchContext {
-                net: problem.margin_net(),
-                analysis: &analysis,
-                splits: &splits,
-            };
-            match heuristic.select(&ctx) {
-                Some(neuron) => {
-                    tree_size += 2;
-                    queue.push_back(splits.with(neuron, SplitSign::Pos));
-                    queue.push_back(splits.with(neuron, SplitSign::Neg));
+        while !queue.is_empty() {
+            // Pop up to `threads` already-enqueued sub-problems and bound
+            // them concurrently. Consumption below is strictly FIFO, so
+            // the exploration order, verdict, and stats match the
+            // sequential search exactly: breadth-first children always go
+            // to the back of the queue, behind every batched node.
+            let width = self.pool.threads().min(queue.len()).max(1);
+            let batch: Vec<SplitSet> = (0..width).map(|_| queue.pop_front().expect("width <= queue.len()")).collect();
+            let analyses = self.pool.map(batch.iter().collect(), |splits: &SplitSet| {
+                self.appver
+                    .analyze(problem.margin_net(), problem.region(), splits)
+            });
+            for (splits, analysis) in batch.iter().zip(analyses) {
+                // Budget accounting happens here, in consumption order:
+                // analyses past an exhausted budget or a found witness are
+                // speculative work, discarded without being counted.
+                if clock.exhausted() {
+                    return finish(
+                        Verdict::Timeout,
+                        &clock,
+                        nodes_visited,
+                        tree_size,
+                        max_depth,
+                    );
                 }
-                None => {
-                    // Fully split: resolve exactly with the LP.
-                    if let Some(w) = resolve_exhausted_leaf(problem, &splits, &mut clock) {
-                        return finish(
-                            Verdict::Falsified(w),
-                            &clock,
-                            nodes_visited,
-                            tree_size,
-                            max_depth,
-                        );
+                nodes_visited += 1;
+                max_depth = max_depth.max(splits.len());
+                clock.appver_calls += 1;
+                if analysis.verified() {
+                    continue;
+                }
+                if let Some(w) = check_candidate(problem, &analysis, self.refine_steps) {
+                    return finish(
+                        Verdict::Falsified(w),
+                        &clock,
+                        nodes_visited,
+                        tree_size,
+                        max_depth,
+                    );
+                }
+                let ctx = BranchContext {
+                    net: problem.margin_net(),
+                    analysis: &analysis,
+                    splits,
+                };
+                match heuristic.select(&ctx) {
+                    Some(neuron) => {
+                        tree_size += 2;
+                        queue.push_back(splits.with(neuron, SplitSign::Pos));
+                        queue.push_back(splits.with(neuron, SplitSign::Neg));
+                    }
+                    None => {
+                        // Fully split: resolve exactly with the LP.
+                        if let Some(w) = resolve_exhausted_leaf(problem, splits, &mut clock) {
+                            return finish(
+                                Verdict::Falsified(w),
+                                &clock,
+                                nodes_visited,
+                                tree_size,
+                                max_depth,
+                            );
+                        }
                     }
                 }
             }

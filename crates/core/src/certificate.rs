@@ -23,6 +23,10 @@ pub enum ProofNode {
     /// The sub-problem at this path is claimed verifiable by a single
     /// `AppVer` call.
     Leaf,
+    /// The sub-problem at this path was still unresolved when the search
+    /// stopped. Partial certificates exported on timeout contain these;
+    /// they record an outstanding obligation and never check.
+    Open,
     /// Case split on one ReLU's phase.
     Branch {
         /// The split neuron.
@@ -35,12 +39,23 @@ pub enum ProofNode {
 }
 
 impl ProofNode {
-    /// Number of leaves below this node (inclusive).
+    /// Number of verified leaves below this node (inclusive).
     #[must_use]
     pub fn num_leaves(&self) -> usize {
         match self {
             ProofNode::Leaf => 1,
+            ProofNode::Open => 0,
             ProofNode::Branch { pos, neg, .. } => pos.num_leaves() + neg.num_leaves(),
+        }
+    }
+
+    /// Number of unresolved [`ProofNode::Open`] obligations (inclusive).
+    #[must_use]
+    pub fn num_open(&self) -> usize {
+        match self {
+            ProofNode::Leaf => 0,
+            ProofNode::Open => 1,
+            ProofNode::Branch { pos, neg, .. } => pos.num_open() + neg.num_open(),
         }
     }
 
@@ -48,7 +63,7 @@ impl ProofNode {
     #[must_use]
     pub fn depth(&self) -> usize {
         match self {
-            ProofNode::Leaf => 0,
+            ProofNode::Leaf | ProofNode::Open => 0,
             ProofNode::Branch { pos, neg, .. } => 1 + pos.depth().max(neg.depth()),
         }
     }
@@ -97,6 +112,12 @@ pub enum CertificateError {
     },
     /// A branch re-splits a neuron already fixed on its path.
     DuplicateSplit(NeuronId),
+    /// The proof tree contains an unresolved [`ProofNode::Open`]
+    /// obligation — a partial certificate from a timed-out run.
+    IncompleteProof {
+        /// Path to the open node as `(neuron, sign)` pairs.
+        path: Vec<(NeuronId, SplitSign)>,
+    },
 }
 
 impl fmt::Display for CertificateError {
@@ -111,6 +132,13 @@ impl fmt::Display for CertificateError {
             }
             CertificateError::DuplicateSplit(n) => {
                 write!(f, "neuron {n} split twice on one path")
+            }
+            CertificateError::IncompleteProof { path } => {
+                write!(
+                    f,
+                    "open proof obligation at depth {} (partial certificate)",
+                    path.len()
+                )
             }
         }
     }
@@ -146,6 +174,19 @@ impl Certificate {
         self.root.num_leaves()
     }
 
+    /// Number of unresolved [`ProofNode::Open`] obligations.
+    #[must_use]
+    pub fn num_open(&self) -> usize {
+        self.root.num_open()
+    }
+
+    /// Returns `true` when the proof tree has no [`ProofNode::Open`]
+    /// obligation left — only complete certificates can check.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.root.num_open() == 0
+    }
+
     /// Height of the proof tree.
     #[must_use]
     pub fn depth(&self) -> usize {
@@ -161,8 +202,9 @@ impl Certificate {
     ///
     /// # Errors
     ///
-    /// Returns [`CertificateError`] for an unverifiable leaf or a
-    /// malformed path.
+    /// Returns [`CertificateError`] for an unverifiable leaf, a malformed
+    /// path, or an unresolved [`ProofNode::Open`] obligation (partial
+    /// certificates never check).
     pub fn check(
         &self,
         problem: &RobustnessProblem,
@@ -204,6 +246,7 @@ fn check_node(
             *leaves += 1;
             Ok(())
         }
+        ProofNode::Open => Err(CertificateError::IncompleteProof { path: path.clone() }),
         ProofNode::Branch { neuron, pos, neg } => {
             if splits.sign_of(*neuron).is_some() {
                 return Err(CertificateError::DuplicateSplit(*neuron));
@@ -287,6 +330,26 @@ mod tests {
             cert.check(&problem, &DeepPoly::new()),
             Err(CertificateError::DuplicateSplit(n))
         );
+    }
+
+    #[test]
+    fn open_obligations_make_a_certificate_partial() {
+        let problem = robust_problem();
+        let cert = Certificate::new(ProofNode::Branch {
+            neuron: NeuronId::new(0, 0),
+            pos: Box::new(ProofNode::Leaf),
+            neg: Box::new(ProofNode::Open),
+        });
+        assert!(!cert.is_complete());
+        assert_eq!(cert.num_open(), 1);
+        assert_eq!(cert.num_leaves(), 1);
+        assert!(matches!(
+            cert.check(&problem, &DeepPoly::new()),
+            Err(CertificateError::IncompleteProof { path }) if path.len() == 1
+        ));
+        let json = serde_json::to_string(&cert).unwrap();
+        let back: Certificate = serde_json::from_str(&json).unwrap();
+        assert_eq!(cert, back);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod spec;
 mod tree;
 
 pub mod heuristics;
+pub mod pool;
 pub mod potentiality;
 
 pub use bab::BabBaseline;
@@ -58,6 +59,7 @@ pub use certificate::{Certificate, CertificateError, CheckStats, ProofNode};
 pub use crown::CrownStyle;
 pub use driver::{Budget, RunResult, RunStats, Verdict, Verifier};
 pub use mcts::{AbonnConfig, AbonnVerifier};
+pub use pool::WorkerPool;
 pub use portfolio::{Portfolio, Stage};
 pub use spec::{RobustnessProblem, SpecError};
 pub use tree::{BabTree, NodeId, NodeState};

@@ -18,6 +18,7 @@ use crate::driver::{
     check_candidate, resolve_exhausted_leaf, Budget, Clock, RunResult, RunStats, Verdict, Verifier,
 };
 use crate::heuristics::{BranchContext, HeuristicKind};
+use crate::pool::WorkerPool;
 use crate::potentiality::{potentiality, ucb1, NodeOutcome};
 use crate::spec::RobustnessProblem;
 use crate::tree::{BabTree, NodeId, NodeState};
@@ -58,6 +59,7 @@ pub struct AbonnVerifier {
     /// Algorithm hyperparameters.
     pub config: AbonnConfig,
     appver: Arc<dyn AppVer>,
+    pool: Arc<WorkerPool>,
 }
 
 impl Default for AbonnVerifier {
@@ -65,6 +67,7 @@ impl Default for AbonnVerifier {
         Self {
             config: AbonnConfig::default(),
             appver: Arc::new(DeepPoly::new()),
+            pool: Arc::new(WorkerPool::inline()),
         }
     }
 }
@@ -83,7 +86,11 @@ impl AbonnVerifier {
     /// approximated verifier.
     #[must_use]
     pub fn new(config: AbonnConfig, appver: Arc<dyn AppVer>) -> Self {
-        Self { config, appver }
+        Self {
+            config,
+            appver,
+            pool: Arc::new(WorkerPool::inline()),
+        }
     }
 
     /// Convenience constructor overriding only λ and c.
@@ -96,7 +103,19 @@ impl AbonnVerifier {
                 ..AbonnConfig::default()
             },
             appver: Arc::new(DeepPoly::new()),
+            pool: Arc::new(WorkerPool::inline()),
         }
+    }
+
+    /// Runs the two `AppVer` calls of each expansion on `pool`
+    /// ([`WorkerPool::join2`]). Verdicts, statistics, and certificates are
+    /// bit-for-bit identical to the sequential search regardless of the
+    /// pool size: the clock is charged up front and the two child results
+    /// are applied in fixed (pos, neg) order.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -114,12 +133,32 @@ struct Search<'p> {
     problem: &'p RobustnessProblem,
     config: AbonnConfig,
     appver: Arc<dyn AppVer>,
+    pool: Arc<WorkerPool>,
     heuristic: Box<dyn crate::heuristics::BranchingHeuristic>,
     tree: BabTree,
     /// Analyses of open nodes, dropped on expansion.
     analyses: Vec<Option<Analysis>>,
     clock: Clock,
     nodes_visited: usize,
+}
+
+/// Evaluates one fresh child sub-problem (one `AppVer` call). Pure in the
+/// inputs — no clock or tree access — so the two children of an expansion
+/// can be evaluated concurrently without touching shared search state.
+fn evaluate_child(
+    appver: &dyn AppVer,
+    problem: &RobustnessProblem,
+    refine_steps: usize,
+    splits: &SplitSet,
+) -> ChildEval {
+    let analysis = appver.analyze(problem.margin_net(), problem.region(), splits);
+    if analysis.verified() {
+        return ChildEval::Closed;
+    }
+    if let Some(w) = check_candidate(problem, &analysis, refine_steps) {
+        return ChildEval::Witness(w);
+    }
+    ChildEval::FalseAlarm(analysis)
 }
 
 impl<'p> Search<'p> {
@@ -135,20 +174,6 @@ impl<'p> Search<'p> {
             self.tree.p_hat_min(),
             self.config.lambda,
         )
-    }
-
-    fn evaluate_child(&mut self, splits: &SplitSet) -> ChildEval {
-        self.clock.appver_calls += 1;
-        let analysis =
-            self.appver
-                .analyze(self.problem.margin_net(), self.problem.region(), splits);
-        if analysis.verified() {
-            return ChildEval::Closed;
-        }
-        if let Some(w) = check_candidate(self.problem, &analysis, self.config.refine_steps) {
-            return ChildEval::Witness(w);
-        }
-        ChildEval::FalseAlarm(analysis)
     }
 
     /// One MCTS iteration: select → expand → back-propagate.
@@ -196,11 +221,19 @@ impl<'p> Search<'p> {
             return None;
         };
 
-        let mut child_results = Vec::with_capacity(2);
-        for sign in [SplitSign::Pos, SplitSign::Neg] {
-            let child_splits = node_splits.with(neuron, sign);
-            child_results.push(self.evaluate_child(&child_splits));
-        }
+        // The two phase analyses are independent, so they may run
+        // concurrently on the pool; the clock is charged for both up front
+        // and the results are applied in fixed (pos, neg) order below,
+        // keeping the search identical to a sequential run.
+        self.clock.appver_calls += 2;
+        let pos_splits = node_splits.with(neuron, SplitSign::Pos);
+        let neg_splits = node_splits.with(neuron, SplitSign::Neg);
+        let (appver, problem, refine) = (&*self.appver, self.problem, self.config.refine_steps);
+        let (pos_eval, neg_eval) = self.pool.join2(
+            || evaluate_child(appver, problem, refine, &pos_splits),
+            || evaluate_child(appver, problem, refine, &neg_splits),
+        );
+        let child_results = vec![pos_eval, neg_eval];
         let p_hat_of = |r: &ChildEval| match r {
             ChildEval::FalseAlarm(a) => a.p_hat,
             _ => f64::INFINITY, // closed/witness children: p̂ unused below
@@ -238,11 +271,13 @@ impl<'p> Search<'p> {
 
 impl AbonnVerifier {
     /// Like [`Verifier::verify`], additionally returning a checkable
-    /// [`Certificate`] when the verdict is [`Verdict::Verified`].
+    /// [`Certificate`] when the verdict is [`Verdict::Verified`], or a
+    /// *partial* certificate (containing [`ProofNode::Open`] obligations,
+    /// see [`Certificate::is_complete`]) when the budget ran out.
     ///
-    /// The certificate is the closed branch tree: each leaf is one
-    /// sub-problem a sound `AppVer` verified, each branch an exhaustive
-    /// ReLU case split.
+    /// The certificate is the branch tree: each leaf is one sub-problem a
+    /// sound `AppVer` verified, each branch an exhaustive ReLU case
+    /// split. Falsified runs carry their witness in the verdict instead.
     #[must_use]
     pub fn verify_with_certificate(
         &self,
@@ -298,6 +333,7 @@ impl AbonnVerifier {
             problem,
             config: self.config,
             appver: Arc::clone(&self.appver),
+            pool: Arc::clone(&self.pool),
             heuristic,
             tree,
             analyses: vec![Some(root_analysis)],
@@ -327,12 +363,15 @@ impl AbonnVerifier {
                 );
             }
             if search.clock.exhausted() {
+                // Export the partial proof: closed leaves stand, still-open
+                // sub-problems become `ProofNode::Open` obligations.
+                let certificate = want_certificate.then(|| certificate_from_tree(&search.tree));
                 return (
                     RunResult {
                         verdict: Verdict::Timeout,
                         stats: stats(&search.clock, Some(&search.tree), search.nodes_visited),
                     },
-                    None,
+                    certificate,
                 );
             }
             if let Some(w) = search.step() {
@@ -348,11 +387,14 @@ impl AbonnVerifier {
     }
 }
 
-/// Converts the closed BaB tree into a proof tree.
+/// Converts the BaB tree into a proof tree. Closed childless nodes become
+/// verified leaves; nodes the search never resolved (timeout) become
+/// [`ProofNode::Open`] obligations, yielding a partial certificate.
 fn certificate_from_tree(tree: &crate::tree::BabTree) -> Certificate {
     fn convert(tree: &crate::tree::BabTree, id: NodeId) -> ProofNode {
         match tree.node(id).children {
-            None => ProofNode::Leaf,
+            None if tree.node(id).state == NodeState::Closed => ProofNode::Leaf,
+            None => ProofNode::Open,
             Some((pos, neg)) => ProofNode::Branch {
                 neuron: tree
                     .node(id)

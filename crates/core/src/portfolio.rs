@@ -82,9 +82,21 @@ impl Portfolio {
     /// rest.
     #[must_use]
     pub fn standard() -> Self {
+        Self::standard_with_pool(std::sync::Arc::new(crate::pool::WorkerPool::inline()))
+    }
+
+    /// [`Portfolio::standard`], with the ABONN stage bounding its
+    /// expansions on `pool`. Stages still run strictly in order; the pool
+    /// only parallelises work *inside* a stage, so the verdict and stats
+    /// match the sequential pipeline exactly.
+    #[must_use]
+    pub fn standard_with_pool(pool: std::sync::Arc<crate::pool::WorkerPool>) -> Self {
         Self::new(vec![
             Stage::new(Box::new(crate::crown::CrownStyle::default()), 0.25),
-            Stage::new(Box::new(crate::mcts::AbonnVerifier::default()), 1.0),
+            Stage::new(
+                Box::new(crate::mcts::AbonnVerifier::default().with_pool(pool)),
+                1.0,
+            ),
         ])
     }
 
@@ -206,6 +218,23 @@ mod tests {
             "portfolio overspent: {} calls",
             result.stats.appver_calls
         );
+    }
+
+    #[test]
+    fn pooled_portfolio_matches_sequential() {
+        let net = relu_compare_net();
+        let budget = Budget::with_appver_calls(600);
+        let pooled =
+            Portfolio::standard_with_pool(std::sync::Arc::new(crate::pool::WorkerPool::new(3)));
+        let sequential = Portfolio::standard();
+        for (x0, eps) in [(vec![0.8, 0.2], 0.02), (vec![0.55, 0.45], 0.2)] {
+            let p = RobustnessProblem::new(&net, x0, 0, eps).unwrap();
+            let a = sequential.verify(&p, &budget);
+            let b = pooled.verify(&p, &budget);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.stats.appver_calls, b.stats.appver_calls);
+            assert_eq!(a.stats.nodes_visited, b.stats.nodes_visited);
+        }
     }
 
     #[test]

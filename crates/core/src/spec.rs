@@ -365,7 +365,7 @@ mod tests {
         let text = abonn_vnnlib::write_robustness(&[0.5, 0.45], 0.1, 0, 3);
         let property = abonn_vnnlib::parse(&text).unwrap();
         let via_vnnlib = RobustnessProblem::from_vnnlib(&net, &property).unwrap();
-        assert_eq!(via_vnnlib.label(), 0);
+        assert_eq!(via_vnnlib.label(), Some(0));
         assert_eq!(direct.region(), via_vnnlib.region());
         let x = [0.45, 0.5];
         assert_eq!(

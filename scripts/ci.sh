@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository CI: tier-1 build + tests, a 2-thread smoke run of every
+# experiment binary, and a determinism spot-check (reports produced with
+# 2 threads must be byte-identical to a fresh 1-thread run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: release build =="
+cargo build --release
+
+echo "== tier 1: tests =="
+cargo test -q
+
+echo "== smoke: experiment binaries on a 2-lane pool =="
+out2=$(mktemp -d)
+for exp in table1 table2 fig3 fig4 fig5 fig6; do
+    echo "-- $exp --scale smoke --threads 2"
+    cargo run --release -q -p abonn-bench --bin "$exp" -- \
+        --scale smoke --seed 2025 --threads 2 --out-dir "$out2" >/dev/null
+done
+
+echo "== determinism: 1-thread fresh rerun must reproduce the records =="
+out1=$(mktemp -d)
+cargo run --release -q -p abonn-bench --bin table2 -- \
+    --scale smoke --seed 2025 --threads 1 --fresh --out-dir "$out1" >/dev/null
+diff "$out2/rq1-smoke-2025.json" "$out1/rq1-smoke-2025.json"
+
+rm -rf "$out1" "$out2"
+echo "ci: ok"

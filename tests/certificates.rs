@@ -45,7 +45,20 @@ fn verified_mnist_instances_yield_checkable_certificates() {
                 assert!(stats.leaves >= 1);
                 checked += 1;
             }
-            _ => assert!(certificate.is_none(), "only verified runs certify"),
+            Verdict::Falsified(_) => {
+                assert!(certificate.is_none(), "falsified runs carry a witness, not a proof");
+            }
+            Verdict::Timeout => {
+                // Timeouts yield a *partial* certificate: well-formed, but
+                // with open obligations, so it must not check.
+                let cert = certificate.expect("timed-out run must produce a partial certificate");
+                assert!(!cert.is_complete(), "timeout certificate cannot be complete");
+                assert!(cert.num_open() >= 1);
+                assert!(
+                    cert.check(&problem, &checker()).is_err(),
+                    "a partial certificate must not check"
+                );
+            }
         }
     }
     assert!(
