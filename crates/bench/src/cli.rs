@@ -18,6 +18,10 @@ pub struct Args {
     /// machine's available parallelism). Reports are byte-identical
     /// regardless of this value.
     pub threads: usize,
+    /// Incremental bound caching (parent-prefix reuse). On by default;
+    /// `--no-bound-cache` disables it for A/B equivalence checks. Reports
+    /// are byte-identical regardless of this value.
+    pub bound_cache: bool,
 }
 
 impl Default for Args {
@@ -28,6 +32,7 @@ impl Default for Args {
             out_dir: PathBuf::from("target/experiments"),
             fresh: false,
             threads: abonn_core::pool::default_threads(),
+            bound_cache: true,
         }
     }
 }
@@ -65,10 +70,11 @@ impl Args {
                         return Err("--threads must be at least 1".into());
                     }
                 }
+                "--no-bound-cache" => args.bound_cache = false,
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--scale smoke|default|full] [--seed N] [--out-dir DIR] \
-                         [--fresh] [--threads N]"
+                         [--fresh] [--threads N] [--no-bound-cache]"
                             .into(),
                     )
                 }
@@ -108,6 +114,13 @@ mod tests {
         assert_eq!(a.scale, Scale::Smoke);
         assert!(!a.fresh);
         assert!(a.threads >= 1, "default pool must have at least one lane");
+        assert!(a.bound_cache, "incremental bounding defaults to on");
+    }
+
+    #[test]
+    fn no_bound_cache_flag_disables_caching() {
+        let a = parse(&["--no-bound-cache"]).unwrap();
+        assert!(!a.bound_cache);
     }
 
     #[test]

@@ -147,18 +147,31 @@ impl Approach {
     /// sequential by design and ignores the pool.
     #[must_use]
     pub fn build_with_pool(&self, pool: Arc<WorkerPool>) -> Box<dyn Verifier> {
+        self.build_configured(pool, true)
+    }
+
+    /// Like [`Approach::build_with_pool`], additionally choosing whether
+    /// the searches thread parent bound prefixes into child nodes
+    /// (`bound_cache`). Verdicts and persisted records are bit-for-bit
+    /// identical either way — caching only changes how much bounding work
+    /// is executed.
+    #[must_use]
+    pub fn build_configured(&self, pool: Arc<WorkerPool>, bound_cache: bool) -> Box<dyn Verifier> {
         let planet = || std::sync::Arc::new(abonn_bound::DeepPoly::planet());
         match self {
-            Approach::BabBaseline => Box::new(
-                BabBaseline::new(abonn_core::heuristics::HeuristicKind::DeepSplit, planet())
-                    .with_pool(pool),
-            ),
+            Approach::BabBaseline => {
+                let mut bab =
+                    BabBaseline::new(abonn_core::heuristics::HeuristicKind::DeepSplit, planet());
+                bab.incremental = bound_cache;
+                Box::new(bab.with_pool(pool))
+            }
             Approach::CrownStyle => Box::new(CrownStyle::default()),
             Approach::Abonn { lambda, c } => Box::new(
                 AbonnVerifier::new(
                     AbonnConfig {
                         lambda: *lambda,
                         c: *c,
+                        incremental: bound_cache,
                         ..AbonnConfig::default()
                     },
                     planet(),
@@ -359,6 +372,25 @@ pub fn run_instance_pooled(
     budget: &Budget,
     pool: &Arc<WorkerPool>,
 ) -> InstanceRecord {
+    run_instance_configured(prepared, instance, approach, budget, pool, true)
+}
+
+/// Like [`run_instance_pooled`], additionally choosing whether incremental
+/// bound caching is used (`bound_cache`); the record is identical either
+/// way.
+///
+/// # Panics
+///
+/// Panics if the instance is inconsistent with the prepared network.
+#[must_use]
+pub fn run_instance_configured(
+    prepared: &PreparedModel,
+    instance: &VerificationInstance,
+    approach: Approach,
+    budget: &Budget,
+    pool: &Arc<WorkerPool>,
+    bound_cache: bool,
+) -> InstanceRecord {
     let problem = RobustnessProblem::new(
         &prepared.network,
         instance.input.clone(),
@@ -366,7 +398,7 @@ pub fn run_instance_pooled(
         instance.epsilon,
     )
     .expect("suite instances are valid specifications");
-    let verifier = approach.build_with_pool(Arc::clone(pool));
+    let verifier = approach.build_configured(Arc::clone(pool), bound_cache);
     let result = verifier.verify(&problem, budget);
     InstanceRecord {
         model: prepared.kind.paper_name().to_string(),
@@ -397,6 +429,19 @@ pub fn run_grid(
     budget: &Budget,
     pool: &Arc<WorkerPool>,
 ) -> Vec<InstanceRecord> {
+    run_grid_configured(models, approaches, budget, pool, true)
+}
+
+/// Like [`run_grid`], additionally choosing whether incremental bound
+/// caching is used (`bound_cache`); the records are identical either way.
+#[must_use]
+pub fn run_grid_configured(
+    models: &[PreparedModel],
+    approaches: &[Approach],
+    budget: &Budget,
+    pool: &Arc<WorkerPool>,
+    bound_cache: bool,
+) -> Vec<InstanceRecord> {
     let mut tasks = Vec::new();
     for prepared in models {
         for approach in approaches {
@@ -413,7 +458,7 @@ pub fn run_grid(
         }
     }
     pool.map(tasks, |(prepared, approach, instance)| {
-        run_instance_pooled(prepared, instance, approach, budget, pool)
+        run_instance_configured(prepared, instance, approach, budget, pool, bound_cache)
     })
 }
 

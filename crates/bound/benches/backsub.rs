@@ -1,0 +1,110 @@
+//! Back-substitution benchmarks: from-scratch vs incremental bounding.
+//!
+//! Bounds a depth-3 chain of deep splits two ways — recomputing every
+//! node from scratch, and threading each node's `BoundPrefix` into its
+//! child — and reports both wall time and the machine-independent
+//! layer-step counts (`BoundComputeStats::backsub_steps`). Run with
+//! `cargo bench -p abonn-bound`; under `cargo test` each routine runs
+//! once as a smoke check.
+
+use abonn_bound::{AppVer, BoundComputeStats, DeepPoly, InputBox, SplitSet, SplitSign};
+use abonn_nn::{AffinePair, CanonicalNetwork};
+use abonn_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_net(seed: u64, dims: &[usize]) -> CanonicalNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut layers = Vec::new();
+    for w in dims.windows(2) {
+        let m = Matrix::from_fn(w[1], w[0], |_, _| rng.gen_range(-1.0..1.0));
+        let b: Vec<f64> = (0..w[1]).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        layers.push(AffinePair::new(m, b));
+    }
+    CanonicalNetwork::from_affine_pairs(dims[0], layers)
+}
+
+/// Builds a depth-3 chain of splits on the deepest splittable layer, so
+/// prefix reuse skips the maximum number of shallow layers.
+fn deep_chain(dp: &DeepPoly, net: &CanonicalNetwork, region: &InputBox) -> Vec<SplitSet> {
+    let root = dp.analyze_cached(net, region, &SplitSet::new(), None);
+    let unstable = root.analysis.unstable_neurons(&SplitSet::new());
+    let deepest = unstable.iter().map(|n| n.layer).max().expect("unstable");
+    let mut splits = SplitSet::new();
+    let mut chain = Vec::new();
+    for neuron in unstable.into_iter().filter(|n| n.layer == deepest).take(3) {
+        splits = splits.with(neuron, SplitSign::Pos);
+        chain.push(splits.clone());
+    }
+    chain
+}
+
+fn bench_split_chain(c: &mut Criterion) {
+    let dims = [4, 16, 16, 16, 16, 16, 2];
+    let net = random_net(3, &dims);
+    let region = InputBox::new(vec![-0.5; 4], vec![0.5; 4]);
+    let dp = DeepPoly::new();
+    let chain = deep_chain(&dp, &net, &region);
+
+    // Report the counted layer-steps once, outside the timed loops: the
+    // counts are exact and machine-independent, unlike the timings.
+    let mut scratch_steps = BoundComputeStats::default();
+    let mut cached_steps = BoundComputeStats::default();
+    let root = dp.analyze_cached(&net, &region, &SplitSet::new(), None);
+    scratch_steps.absorb(&root.stats);
+    cached_steps.absorb(&root.stats);
+    let mut parent = root.prefix.clone();
+    for splits in &chain {
+        scratch_steps.absorb(&dp.analyze_cached(&net, &region, splits, None).stats);
+        let node = dp.analyze_cached(&net, &region, splits, parent.as_ref());
+        cached_steps.absorb(&node.stats);
+        parent = node.prefix;
+    }
+    println!(
+        "backsub chain depth {}: {} layer-steps from scratch, {} incremental ({} layers reused)",
+        chain.len(),
+        scratch_steps.backsub_steps,
+        cached_steps.backsub_steps,
+        cached_steps.layers_reused,
+    );
+
+    c.bench_function("bound/chain_scratch", |bench| {
+        bench.iter(|| {
+            let root = dp.analyze_cached(&net, &region, &SplitSet::new(), None);
+            let mut acc = root.analysis.p_hat;
+            for splits in &chain {
+                acc += dp.analyze(&net, &region, black_box(splits)).p_hat;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("bound/chain_incremental", |bench| {
+        bench.iter(|| {
+            let root = dp.analyze_cached(&net, &region, &SplitSet::new(), None);
+            let mut acc = root.analysis.p_hat;
+            let mut parent = root.prefix;
+            for splits in &chain {
+                let node = dp.analyze_cached(&net, &region, black_box(splits), parent.as_ref());
+                acc += node.analysis.p_hat;
+                parent = node.prefix;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_single_node(c: &mut Criterion) {
+    let dims = [4, 24, 24, 24, 2];
+    let net = random_net(9, &dims);
+    let region = InputBox::new(vec![-0.5; 4], vec![0.5; 4]);
+    let dp = DeepPoly::new();
+    c.bench_function("bound/deeppoly_scratch_4x24x3", |bench| {
+        bench.iter(|| black_box(dp.analyze(&net, &region, &SplitSet::new()).p_hat))
+    });
+}
+
+criterion_group!(benches, bench_split_chain, bench_single_node);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Parent-prefix bound caching for incremental back-substitution.
+//!
+//! A BaB child differs from its parent by exactly one additional ReLU
+//! split at some layer `L`. Pre-activation bounds and ReLU relaxations of
+//! layers strictly below `L` are a pure function of the network, the input
+//! region, and the splits on layers `< L` — all shared with the parent —
+//! so they can be served verbatim from the parent's [`BoundPrefix`] and
+//! only layers `L..K` need re-running. The recomputed suffix executes the
+//! exact same code path (same summation order, same zero-skips) as a
+//! from-scratch pass, so cached and uncached results are bit-for-bit
+//! identical.
+
+use crate::deeppoly::RelaxMode;
+use crate::relax::ReluRelaxation;
+use crate::types::{Analysis, LayerBounds, SplitSet};
+use abonn_tensor::Matrix;
+use std::sync::Arc;
+
+/// Everything a full bound computation produced, keyed by the split set it
+/// was computed under. Handed from parent to child as an `Arc`; opaque
+/// outside `abonn-bound`.
+#[derive(Debug, Clone)]
+pub struct BoundPrefix {
+    /// The split set the cached pass ran under (the cache key).
+    pub(crate) splits: SplitSet,
+    /// Relaxation configuration; a prefix is only reusable under the same
+    /// configuration.
+    pub(crate) mode: RelaxMode,
+    pub(crate) intersect_ibp: bool,
+    /// Post-clamp interval-propagation bounds per stage.
+    pub(crate) ibp: Vec<LayerBounds>,
+    /// Post-clamp back-substituted bounds per stage.
+    pub(crate) bounds: Vec<LayerBounds>,
+    /// ReLU relaxations per hidden stage.
+    pub(crate) relax: Vec<Vec<ReluRelaxation>>,
+    /// Linear lower-bound coefficients of the output stage over the input.
+    pub(crate) output_lower_coeffs: Matrix,
+}
+
+impl BoundPrefix {
+    /// Number of affine stages covered by the cached pass.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Number of split constraints in the cache key.
+    #[must_use]
+    pub fn split_depth(&self) -> usize {
+        self.splits.len()
+    }
+}
+
+/// Machine-independent work counters for one or more bound computations.
+///
+/// All fields count *calls/steps*, never wall time, so they are identical
+/// across thread counts and machines (see DESIGN.md §5b/§5c).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundComputeStats {
+    /// Layers whose bounds/relaxations were served from a parent prefix.
+    pub layers_reused: usize,
+    /// Layers recomputed from the first diverging split layer downward.
+    pub layers_recomputed: usize,
+    /// Total back-substitution layer-steps executed (recomputing stage `k`
+    /// costs `k` steps); the paper-level cost model for bounding work.
+    pub backsub_steps: usize,
+}
+
+impl BoundComputeStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &BoundComputeStats) {
+        self.layers_reused += other.layers_reused;
+        self.layers_recomputed += other.layers_recomputed;
+        self.backsub_steps += other.backsub_steps;
+    }
+}
+
+/// Result of [`AppVer::analyze_cached`](crate::AppVer::analyze_cached):
+/// the analysis plus, when the verifier supports it, a reusable bound
+/// prefix for this node's children and the work counters of the call.
+#[derive(Debug, Clone)]
+pub struct CachedAnalysis {
+    /// The analysis, bit-for-bit identical to what
+    /// [`analyze`](crate::AppVer::analyze) returns for the same inputs.
+    pub analysis: Analysis,
+    /// Cache handle to thread into child expansions, when available.
+    pub prefix: Option<Arc<BoundPrefix>>,
+    /// Work performed by this call.
+    pub stats: BoundComputeStats,
+}
+
+impl CachedAnalysis {
+    /// Wraps a plain analysis with no cache handle and zero counters —
+    /// the default for verifiers without incremental support.
+    #[must_use]
+    pub fn scratch(analysis: Analysis) -> Self {
+        Self {
+            analysis,
+            prefix: None,
+            stats: BoundComputeStats::default(),
+        }
+    }
+}

@@ -9,11 +9,13 @@
 //! than [`Ibp`](crate::Ibp)) and tightened by the sub-problem's split
 //! constraints before the stage's own ReLU relaxation is formed.
 
+use crate::cache::{BoundComputeStats, BoundPrefix, CachedAnalysis};
 use crate::ibp::Ibp;
 use crate::relax::{apply_split, ReluRelaxation};
 use crate::types::{Analysis, AppVer, InputBox, LayerBounds, NeuronId, SplitSet};
 use abonn_nn::CanonicalNetwork;
 use abonn_tensor::Matrix;
+use std::sync::Arc;
 
 /// Intermediate result of a full bound computation, including everything
 /// needed to extract candidates and to re-run with different α slopes.
@@ -66,21 +68,108 @@ pub(crate) fn compute_bounds_with(
     mode: RelaxMode,
     intersect_ibp: bool,
 ) -> Option<BoundsResult> {
+    let mut stats = BoundComputeStats::default();
+    compute_bounds_engine(
+        net,
+        region,
+        splits,
+        alphas,
+        mode,
+        intersect_ibp,
+        None,
+        false,
+        &mut stats,
+    )
+    .map(|out| out.result)
+}
+
+/// Result of one [`compute_bounds_engine`] call.
+pub(crate) struct EngineOutput {
+    pub result: BoundsResult,
+    /// Reusable prefix for child sub-problems (requested + supported).
+    pub prefix: Option<Arc<BoundPrefix>>,
+}
+
+/// The incremental bounding engine behind every DeepPoly-style pass.
+///
+/// When `parent` holds a [`BoundPrefix`] produced under the same
+/// relaxation configuration, layers strictly below the first diverging
+/// split layer are served from the cache and only the suffix is re-run —
+/// with the *exact* from-scratch loop body, so results are bit-for-bit
+/// identical to `parent = None`. `alphas` overrides disable reuse (the
+/// cached relaxations were built without them). Work performed/avoided is
+/// accumulated into `stats`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_bounds_engine(
+    net: &CanonicalNetwork,
+    region: &InputBox,
+    splits: &SplitSet,
+    alphas: Option<&AlphaAssignment>,
+    mode: RelaxMode,
+    intersect_ibp: bool,
+    parent: Option<&Arc<BoundPrefix>>,
+    want_prefix: bool,
+    stats: &mut BoundComputeStats,
+) -> Option<EngineOutput> {
     let num_layers = net.num_layers();
-    let ibp_bounds = Ibp::propagate(net, region, splits)?;
+    // A parent prefix is only sound under the same relaxation
+    // configuration, with no slope overrides, and when it covers the
+    // whole network.
+    let parent = parent.filter(|p| {
+        alphas.is_none()
+            && p.mode == mode
+            && p.intersect_ibp == intersect_ibp
+            && p.bounds.len() == num_layers
+    });
+
+    // First layer whose relaxation may differ from the cached pass. The
+    // output stage is always recomputed so `output_lower_coeffs` is
+    // rebuilt by the same code path regardless of where splits land.
+    let start = match parent {
+        None => 0,
+        Some(p) => match p.splits.first_divergence(splits) {
+            Some(layer) => layer.min(num_layers - 1),
+            None => {
+                // Identical split constraints: the cached pass answers
+                // the whole query.
+                stats.layers_reused += num_layers;
+                return Some(EngineOutput {
+                    result: BoundsResult {
+                        bounds: p.bounds.clone(),
+                        output_lower_coeffs: p.output_lower_coeffs.clone(),
+                    },
+                    prefix: Some(Arc::clone(p)),
+                });
+            }
+        },
+    };
+
+    let ibp_bounds = match parent {
+        Some(p) if start > 0 => Ibp::propagate_from(net, region, splits, &p.ibp[..start])?,
+        _ => Ibp::propagate(net, region, splits)?,
+    };
 
     let mut bounds: Vec<LayerBounds> = Vec::with_capacity(num_layers);
     let mut relaxations: Vec<Vec<ReluRelaxation>> = Vec::with_capacity(num_layers - 1);
+    if let Some(p) = parent {
+        bounds.extend_from_slice(&p.bounds[..start]);
+        relaxations.extend_from_slice(&p.relax[..start]);
+        stats.layers_reused += start;
+    }
+
+    let mut scratch = BackSubScratch::default();
     let mut out_low: Option<Matrix> = None;
 
-    for k in 0..num_layers {
-        let (lo_expr, lo_const, hi_expr, hi_const) = back_substitute(net, k, &relaxations);
+    for k in start..num_layers {
+        stats.layers_recomputed += 1;
+        stats.backsub_steps += k;
+        let (lo_const, hi_const) = back_substitute(net, k, &relaxations, &mut scratch);
         let n = net.layers()[k].out_dim();
         let mut lo = vec![0.0; n];
         let mut hi = vec![0.0; n];
         for s in 0..n {
-            lo[s] = concretize_min(lo_expr.row(s), region) + lo_const[s];
-            hi[s] = concretize_max(hi_expr.row(s), region) + hi_const[s];
+            lo[s] = concretize_min(scratch.lo_a.row(s), region) + lo_const[s];
+            hi[s] = concretize_max(scratch.hi_a.row(s), region) + hi_const[s];
         }
         // Intersect with IBP so DeepPoly never reports looser bounds
         // (skipped in the deliberately-loose Planet mode).
@@ -120,48 +209,83 @@ pub(crate) fn compute_bounds_with(
             }
             relaxations.push(relax);
         } else {
-            out_low = Some(lo_expr);
+            out_low = Some(scratch.lo_a.clone());
         }
         bounds.push(LayerBounds::new(lo, hi));
     }
 
     let output_lower_coeffs = out_low.expect("loop always reaches the output stage");
-    Some(BoundsResult {
-        bounds,
-        output_lower_coeffs,
+    let prefix = if want_prefix && alphas.is_none() {
+        Some(Arc::new(BoundPrefix {
+            splits: splits.clone(),
+            mode,
+            intersect_ibp,
+            ibp: ibp_bounds,
+            bounds: bounds.clone(),
+            relax: relaxations,
+            output_lower_coeffs: output_lower_coeffs.clone(),
+        }))
+    } else {
+        None
+    };
+    Some(EngineOutput {
+        result: BoundsResult {
+            bounds,
+            output_lower_coeffs,
+        },
+        prefix,
     })
 }
 
+/// Reusable buffers for [`back_substitute`], amortising the per-step
+/// matrix allocations across all stages of a bound computation. After a
+/// call, `lo_a`/`hi_a` hold stage `k`'s lower/upper coefficients over the
+/// input vector.
+#[derive(Default)]
+struct BackSubScratch {
+    lo_a: Matrix,
+    hi_a: Matrix,
+    lo_next: Matrix,
+    hi_next: Matrix,
+}
+
 /// Back-substitutes stage `k`'s pre-activation expressions down to the
-/// input, returning `(lower_coeffs, lower_consts, upper_coeffs,
-/// upper_consts)` over the input vector.
+/// input: coefficients land in `scratch.lo_a` / `scratch.hi_a`, the
+/// constant terms are returned as `(lower_consts, upper_consts)`.
+///
+/// Each `A ← A·W, c ← c + A·b` step runs as one fused kernel
+/// ([`Matrix::fused_affine_into`]) into a swap buffer — no per-step
+/// allocation — with the same summation order and zero-skip as the
+/// original dot + matmul formulation, so results are bit-for-bit
+/// unchanged.
 fn back_substitute(
     net: &CanonicalNetwork,
     k: usize,
     relaxations: &[Vec<ReluRelaxation>],
-) -> (Matrix, Vec<f64>, Matrix, Vec<f64>) {
+    scratch: &mut BackSubScratch,
+) -> (Vec<f64>, Vec<f64>) {
     let stage = &net.layers()[k];
-    let mut lo_a = stage.weight.clone();
+    scratch.lo_a.copy_from(&stage.weight);
+    scratch.hi_a.copy_from(&stage.weight);
     let mut lo_c = stage.bias.clone();
-    let mut hi_a = stage.weight.clone();
     let mut hi_c = stage.bias.clone();
 
     for j in (0..k).rev() {
         let relax = &relaxations[j];
-        substitute_relu(&mut lo_a, &mut lo_c, relax, true);
-        substitute_relu(&mut hi_a, &mut hi_c, relax, false);
+        substitute_relu(&mut scratch.lo_a, &mut lo_c, relax, true);
+        substitute_relu(&mut scratch.hi_a, &mut hi_c, relax, false);
         let prev = &net.layers()[j];
         // Expression over z_j = W_j a_{j-1} + b_j → over a_{j-1}.
-        for (ci, v) in lo_c.iter_mut().enumerate() {
-            *v += abonn_tensor::vecops::dot(lo_a.row(ci), &prev.bias);
-        }
-        for (ci, v) in hi_c.iter_mut().enumerate() {
-            *v += abonn_tensor::vecops::dot(hi_a.row(ci), &prev.bias);
-        }
-        lo_a = lo_a.matmul(&prev.weight);
-        hi_a = hi_a.matmul(&prev.weight);
+        scratch
+            .lo_a
+            .fused_affine_into(&prev.weight, &prev.bias, &mut lo_c, &mut scratch.lo_next);
+        std::mem::swap(&mut scratch.lo_a, &mut scratch.lo_next);
+        scratch
+            .hi_a
+            .fused_affine_into(&prev.weight, &prev.bias, &mut hi_c, &mut scratch.hi_next);
+        std::mem::swap(&mut scratch.hi_a, &mut scratch.hi_next);
     }
-    (lo_a, lo_c, hi_a, hi_c)
+    (lo_c, hi_c)
 }
 
 /// Replaces coefficients over post-activations `a_j` with coefficients
@@ -261,29 +385,71 @@ impl DeepPoly {
             intersect_ibp: false,
         }
     }
+
+    /// Shared implementation behind [`AppVer::analyze`] and
+    /// [`AppVer::analyze_cached`]: one engine call, so both entry points
+    /// produce bit-for-bit the same analysis.
+    fn run(
+        &self,
+        net: &CanonicalNetwork,
+        region: &InputBox,
+        splits: &SplitSet,
+        parent: Option<&Arc<BoundPrefix>>,
+        want_prefix: bool,
+    ) -> CachedAnalysis {
+        let mut stats = BoundComputeStats::default();
+        if splits.is_contradictory() {
+            return CachedAnalysis::scratch(Analysis::infeasible());
+        }
+        let Some(out) = compute_bounds_engine(
+            net,
+            region,
+            splits,
+            None,
+            self.mode,
+            self.intersect_ibp,
+            parent,
+            want_prefix,
+            &mut stats,
+        ) else {
+            return CachedAnalysis {
+                analysis: Analysis::infeasible(),
+                prefix: None,
+                stats,
+            };
+        };
+        let result = out.result;
+        let last = result.bounds.last().expect("non-empty");
+        let p_hat = last.lower.iter().cloned().fold(f64::INFINITY, f64::min);
+        let candidate = (p_hat < 0.0)
+            .then(|| candidate_from(&result, region))
+            .flatten();
+        CachedAnalysis {
+            analysis: Analysis {
+                p_hat,
+                candidate,
+                bounds: result.bounds,
+                infeasible: false,
+            },
+            prefix: out.prefix,
+            stats,
+        }
+    }
 }
 
 impl AppVer for DeepPoly {
     fn analyze(&self, net: &CanonicalNetwork, region: &InputBox, splits: &SplitSet) -> Analysis {
-        if splits.is_contradictory() {
-            return Analysis::infeasible();
-        }
-        let Some(result) =
-            compute_bounds_with(net, region, splits, None, self.mode, self.intersect_ibp)
-        else {
-            return Analysis::infeasible();
-        };
-        let out = result.bounds.last().expect("non-empty");
-        let p_hat = out.lower.iter().cloned().fold(f64::INFINITY, f64::min);
-        let candidate = (p_hat < 0.0)
-            .then(|| candidate_from(&result, region))
-            .flatten();
-        Analysis {
-            p_hat,
-            candidate,
-            bounds: result.bounds,
-            infeasible: false,
-        }
+        self.run(net, region, splits, None, false).analysis
+    }
+
+    fn analyze_cached(
+        &self,
+        net: &CanonicalNetwork,
+        region: &InputBox,
+        splits: &SplitSet,
+        parent: Option<&Arc<BoundPrefix>>,
+    ) -> CachedAnalysis {
+        self.run(net, region, splits, parent, true)
     }
 
     fn name(&self) -> &'static str {

@@ -40,12 +40,54 @@ impl Ibp {
         region: &InputBox,
         splits: &SplitSet,
     ) -> Option<Vec<LayerBounds>> {
-        let mut a_lo = region.lo().to_vec();
-        let mut a_hi = region.hi().to_vec();
-        let num_layers = net.num_layers();
-        let mut out = Vec::with_capacity(num_layers);
+        let mut out = Vec::with_capacity(net.num_layers());
+        Self::propagate_tail(
+            net,
+            splits,
+            region.lo().to_vec(),
+            region.hi().to_vec(),
+            0,
+            &mut out,
+        )?;
+        Some(out)
+    }
 
-        for (k, stage) in net.layers().iter().enumerate() {
+    /// Like [`propagate`](Self::propagate), but resumes after the cached
+    /// `prefix` of post-clamp pre-activation bounds (layers `0..prefix
+    /// .len()`), which must have been produced by a split set agreeing
+    /// with `splits` on those layers. The recomputed tail runs the exact
+    /// same per-layer code as `propagate`, so the result is bit-for-bit
+    /// what a from-scratch pass returns.
+    pub(crate) fn propagate_from(
+        net: &CanonicalNetwork,
+        region: &InputBox,
+        splits: &SplitSet,
+        prefix: &[LayerBounds],
+    ) -> Option<Vec<LayerBounds>> {
+        let Some(last) = prefix.last() else {
+            return Self::propagate(net, region, splits);
+        };
+        // Re-derive the post-activation interval feeding the first
+        // recomputed stage, exactly as the from-scratch loop does.
+        let a_lo: Vec<f64> = last.lower.iter().map(|&v| v.max(0.0)).collect();
+        let a_hi: Vec<f64> = last.upper.iter().map(|&v| v.max(0.0)).collect();
+        let mut out = Vec::with_capacity(net.num_layers());
+        out.extend_from_slice(prefix);
+        Self::propagate_tail(net, splits, a_lo, a_hi, prefix.len(), &mut out)?;
+        Some(out)
+    }
+
+    /// Shared propagation loop over stages `start..`, appending to `out`.
+    fn propagate_tail(
+        net: &CanonicalNetwork,
+        splits: &SplitSet,
+        mut a_lo: Vec<f64>,
+        mut a_hi: Vec<f64>,
+        start: usize,
+        out: &mut Vec<LayerBounds>,
+    ) -> Option<()> {
+        let num_layers = net.num_layers();
+        for (k, stage) in net.layers().iter().enumerate().skip(start) {
             let n = stage.out_dim();
             let mut lo = stage.bias.clone();
             let mut hi = stage.bias.clone();
@@ -81,7 +123,7 @@ impl Ibp {
             }
             out.push(LayerBounds::new(lo, hi));
         }
-        Some(out)
+        Some(())
     }
 }
 
@@ -175,6 +217,31 @@ mod tests {
         let splits = SplitSet::new().with(NeuronId::new(0, 0), SplitSign::Neg);
         let a = Ibp::new().analyze(&v_net(), &InputBox::new(vec![0.5], vec![1.0]), &splits);
         assert!(a.infeasible);
+    }
+
+    #[test]
+    fn propagate_from_prefix_is_bit_identical() {
+        let net = v_net();
+        let region = InputBox::new(vec![-1.0], vec![1.0]);
+        let splits = SplitSet::new().with(NeuronId::new(0, 0), SplitSign::Pos);
+        let scratch = Ibp::propagate(&net, &region, &splits).expect("feasible");
+        // A parent with no splits agrees with `splits` on layer 0? No — the
+        // split lands on layer 0, so only the empty prefix is reusable;
+        // check both the empty-prefix path and a genuine one-layer prefix
+        // taken from the same split set.
+        let from_empty = Ibp::propagate_from(&net, &region, &splits, &[]).expect("feasible");
+        let from_one = Ibp::propagate_from(&net, &region, &splits, &scratch[..1]).expect("feasible");
+        for (a, b) in scratch.iter().zip(&from_empty) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in scratch.iter().zip(&from_one) {
+            for (u, v) in a.lower.iter().zip(&b.lower) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+            for (u, v) in a.upper.iter().zip(&b.upper) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 mod alpha;
 mod beta;
+mod cache;
 mod cascade;
 mod deeppoly;
 mod ibp;
@@ -52,6 +53,7 @@ mod types;
 
 pub use alpha::AlphaCrown;
 pub use beta::BetaCrown;
+pub use cache::{BoundComputeStats, BoundPrefix, CachedAnalysis};
 pub use cascade::Cascade;
 pub use deeppoly::DeepPoly;
 pub use ibp::Ibp;

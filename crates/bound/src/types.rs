@@ -198,6 +198,38 @@ impl SplitSet {
             .iter()
             .map(|(&(layer, index), &sign)| (NeuronId { layer, index }, sign))
     }
+
+    /// The smallest layer on which the two split sets disagree (a
+    /// constraint present in one but not the other, or with a different
+    /// sign), or `None` when the constraint maps are identical.
+    ///
+    /// This is the incremental-bounding invalidation point: bounds and
+    /// relaxations of layers strictly below the first divergence are
+    /// unaffected by the difference and can be reused. Both maps are
+    /// ordered by `(layer, index)`, so a single merge-join suffices and
+    /// the first mismatch found already has the minimal layer.
+    #[must_use]
+    pub fn first_divergence(&self, other: &SplitSet) -> Option<usize> {
+        let mut a = self.splits.iter();
+        let mut b = other.splits.iter();
+        let (mut x, mut y) = (a.next(), b.next());
+        loop {
+            match (x, y) {
+                (None, None) => return None,
+                (Some((&(layer, _), _)), None) | (None, Some((&(layer, _), _))) => {
+                    return Some(layer)
+                }
+                (Some((ka, sa)), Some((kb, sb))) => {
+                    if ka == kb && sa == sb {
+                        x = a.next();
+                        y = b.next();
+                    } else {
+                        return Some(ka.0.min(kb.0));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Concrete pre-activation bounds of one affine stage.
@@ -306,6 +338,25 @@ impl Analysis {
 pub trait AppVer: Send + Sync {
     /// Analyzes `net` (in margin form) over `region` under `splits`.
     fn analyze(&self, net: &CanonicalNetwork, region: &InputBox, splits: &SplitSet) -> Analysis;
+
+    /// Like [`analyze`](Self::analyze), but may reuse a `parent` bound
+    /// prefix to skip recomputing layers below the first diverging split,
+    /// and returns a prefix for this node's own children.
+    ///
+    /// The contained analysis must be **bit-for-bit identical** to what
+    /// `analyze` returns for the same `(net, region, splits)` — caching
+    /// may only change how much work is done, never the result. The
+    /// default implementation ignores `parent` and computes from scratch.
+    fn analyze_cached(
+        &self,
+        net: &CanonicalNetwork,
+        region: &InputBox,
+        splits: &SplitSet,
+        parent: Option<&std::sync::Arc<crate::cache::BoundPrefix>>,
+    ) -> crate::cache::CachedAnalysis {
+        let _ = parent;
+        crate::cache::CachedAnalysis::scratch(self.analyze(net, region, splits))
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;

@@ -11,7 +11,7 @@ use crate::driver::{
 use crate::heuristics::{BranchContext, HeuristicKind};
 use crate::pool::WorkerPool;
 use crate::spec::RobustnessProblem;
-use abonn_bound::{AppVer, DeepPoly, SplitSet, SplitSign};
+use abonn_bound::{AppVer, BoundPrefix, CachedAnalysis, DeepPoly, SplitSet, SplitSign};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -26,6 +26,9 @@ pub struct BabBaseline {
     pub heuristic: HeuristicKind,
     /// PGD polish steps for spurious candidates (0 = paper-plain).
     pub refine_steps: usize,
+    /// Thread parent bound prefixes into child nodes (bit-for-bit
+    /// identical results; disabling is for A/B checks and debugging).
+    pub incremental: bool,
     appver: Arc<dyn AppVer>,
     pool: Arc<WorkerPool>,
 }
@@ -35,6 +38,7 @@ impl Default for BabBaseline {
         Self {
             heuristic: HeuristicKind::DeepSplit,
             refine_steps: 0,
+            incremental: true,
             appver: Arc::new(DeepPoly::new()),
             pool: Arc::new(WorkerPool::inline()),
         }
@@ -57,6 +61,7 @@ impl BabBaseline {
         Self {
             heuristic,
             refine_steps: 0,
+            incremental: true,
             appver,
             pool: Arc::new(WorkerPool::inline()),
         }
@@ -79,7 +84,10 @@ impl Verifier for BabBaseline {
     fn verify(&self, problem: &RobustnessProblem, budget: &Budget) -> RunResult {
         let mut clock = Clock::new(*budget);
         let heuristic = self.heuristic.build(problem.margin_net());
-        let mut queue: VecDeque<SplitSet> = VecDeque::from([SplitSet::new()]);
+        // Each queued sub-problem carries its parent's bound prefix so the
+        // verifier only recomputes layers below the new split.
+        let mut queue: VecDeque<(SplitSet, Option<Arc<BoundPrefix>>)> =
+            VecDeque::from([(SplitSet::new(), None)]);
         let mut nodes_visited = 0usize;
         let mut tree_size = 1usize;
         let mut max_depth = 0usize;
@@ -91,6 +99,9 @@ impl Verifier for BabBaseline {
                 nodes_visited: visited,
                 tree_size,
                 max_depth,
+                cache_layers_reused: clock.bound_stats.layers_reused,
+                cache_layers_recomputed: clock.bound_stats.layers_recomputed,
+                backsub_steps: clock.bound_stats.backsub_steps,
                 wall: clock.elapsed(),
             },
         };
@@ -102,15 +113,33 @@ impl Verifier for BabBaseline {
             // sequential search exactly: breadth-first children always go
             // to the back of the queue, behind every batched node.
             let width = self.pool.threads().min(queue.len()).max(1);
-            let batch: Vec<SplitSet> = (0..width).map(|_| queue.pop_front().expect("width <= queue.len()")).collect();
-            let analyses = self.pool.map(batch.iter().collect(), |splits: &SplitSet| {
-                self.appver
-                    .analyze(problem.margin_net(), problem.region(), splits)
-            });
-            for (splits, analysis) in batch.iter().zip(analyses) {
+            let batch: Vec<(SplitSet, Option<Arc<BoundPrefix>>)> = (0..width)
+                .map(|_| queue.pop_front().expect("width <= queue.len()"))
+                .collect();
+            let analyses = self.pool.map(
+                batch.iter().collect(),
+                |(splits, parent): &(SplitSet, Option<Arc<BoundPrefix>>)| {
+                    if self.incremental {
+                        self.appver.analyze_cached(
+                            problem.margin_net(),
+                            problem.region(),
+                            splits,
+                            parent.as_ref(),
+                        )
+                    } else {
+                        CachedAnalysis::scratch(self.appver.analyze(
+                            problem.margin_net(),
+                            problem.region(),
+                            splits,
+                        ))
+                    }
+                },
+            );
+            for ((splits, _), cached) in batch.iter().zip(analyses) {
                 // Budget accounting happens here, in consumption order:
                 // analyses past an exhausted budget or a found witness are
-                // speculative work, discarded without being counted.
+                // speculative work, discarded without being counted (the
+                // bound-work counters included).
                 if clock.exhausted() {
                     return finish(
                         Verdict::Timeout,
@@ -123,6 +152,8 @@ impl Verifier for BabBaseline {
                 nodes_visited += 1;
                 max_depth = max_depth.max(splits.len());
                 clock.appver_calls += 1;
+                clock.bound_stats.absorb(&cached.stats);
+                let analysis = cached.analysis;
                 if analysis.verified() {
                     continue;
                 }
@@ -143,8 +174,8 @@ impl Verifier for BabBaseline {
                 match heuristic.select(&ctx) {
                     Some(neuron) => {
                         tree_size += 2;
-                        queue.push_back(splits.with(neuron, SplitSign::Pos));
-                        queue.push_back(splits.with(neuron, SplitSign::Neg));
+                        queue.push_back((splits.with(neuron, SplitSign::Pos), cached.prefix.clone()));
+                        queue.push_back((splits.with(neuron, SplitSign::Neg), cached.prefix));
                     }
                     None => {
                         // Fully split: resolve exactly with the LP.

@@ -112,6 +112,9 @@ impl Verifier for CrownStyle {
                 tree_size,
                 max_depth,
                 wall: clock.elapsed(),
+                // α/β-CROWN-style search re-optimises slopes per node, so
+                // prefix reuse does not apply; counters stay zero.
+                ..RunStats::default()
             },
         };
 

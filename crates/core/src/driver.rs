@@ -3,7 +3,7 @@
 
 use crate::spec::RobustnessProblem;
 use abonn_attack::Pgd;
-use abonn_bound::{Analysis, AppVer, LpVerifier, SplitSet};
+use abonn_bound::{Analysis, AppVer, BoundComputeStats, LpVerifier, SplitSet};
 use std::time::{Duration, Instant};
 
 /// Outcome of a verification run.
@@ -64,6 +64,13 @@ impl Default for Budget {
 }
 
 /// Counters describing how a run spent its budget.
+///
+/// The incremental-bounding counters (`cache_layers_reused`,
+/// `cache_layers_recomputed`, `backsub_steps`) are call-based and
+/// accumulated in the deterministic consumption order of each search, so
+/// like every other field they are identical across thread counts and
+/// machines. They live only in this in-memory struct — persisted bench
+/// reports exclude them so cache-on and cache-off runs stay byte-identical.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunStats {
     /// Approximated-verifier invocations (the paper's cost unit).
@@ -74,6 +81,12 @@ pub struct RunStats {
     pub tree_size: usize,
     /// Deepest split sequence reached.
     pub max_depth: usize,
+    /// Bound-propagation layers served from a parent's cached prefix.
+    pub cache_layers_reused: usize,
+    /// Bound-propagation layers recomputed (from the split layer down).
+    pub cache_layers_recomputed: usize,
+    /// Back-substitution layer-steps executed (stage `k` costs `k` steps).
+    pub backsub_steps: usize,
     /// Measured wall time.
     pub wall: Duration,
 }
@@ -82,11 +95,15 @@ impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} AppVer calls, {} nodes visited, tree size {}, depth {}, {:.3}s",
+            "{} AppVer calls, {} nodes visited, tree size {}, depth {}, \
+             {} backsub steps ({} layers reused / {} recomputed), {:.3}s",
             self.appver_calls,
             self.nodes_visited,
             self.tree_size,
             self.max_depth,
+            self.backsub_steps,
+            self.cache_layers_reused,
+            self.cache_layers_recomputed,
             self.wall.as_secs_f64()
         )
     }
@@ -116,6 +133,9 @@ pub(crate) struct Clock {
     start: Instant,
     budget: Budget,
     pub appver_calls: usize,
+    /// Incremental-bounding work counters, accumulated in deterministic
+    /// consumption order (never inside worker closures).
+    pub bound_stats: BoundComputeStats,
 }
 
 impl Clock {
@@ -124,6 +144,7 @@ impl Clock {
             start: Instant::now(),
             budget,
             appver_calls: 0,
+            bound_stats: BoundComputeStats::default(),
         }
     }
 
@@ -226,10 +247,15 @@ mod tests {
             nodes_visited: 6,
             tree_size: 11,
             max_depth: 3,
+            cache_layers_reused: 20,
+            cache_layers_recomputed: 10,
+            backsub_steps: 45,
             wall: Duration::from_millis(1500),
         };
         let text = stats.to_string();
         assert!(text.contains("12 AppVer calls"));
+        assert!(text.contains("45 backsub steps"));
+        assert!(text.contains("20 layers reused"));
         assert!(text.contains("1.500s"));
     }
 

@@ -22,7 +22,9 @@ use crate::pool::WorkerPool;
 use crate::potentiality::{potentiality, ucb1, NodeOutcome};
 use crate::spec::RobustnessProblem;
 use crate::tree::{BabTree, NodeId, NodeState};
-use abonn_bound::{Analysis, AppVer, DeepPoly, SplitSet, SplitSign};
+use abonn_bound::{
+    Analysis, AppVer, BoundComputeStats, BoundPrefix, CachedAnalysis, DeepPoly, SplitSet, SplitSign,
+};
 use std::sync::Arc;
 
 /// Hyperparameters of Algorithm 1.
@@ -38,6 +40,10 @@ pub struct AbonnConfig {
     pub refine_steps: usize,
     /// Branching heuristic `H`.
     pub heuristic: HeuristicKind,
+    /// Thread parent bound prefixes into child expansions so the verifier
+    /// only recomputes layers below the split (results are bit-for-bit
+    /// identical either way; disabling is for A/B checks and debugging).
+    pub incremental: bool,
 }
 
 impl Default for AbonnConfig {
@@ -47,6 +53,7 @@ impl Default for AbonnConfig {
             c: 0.2,
             refine_steps: 0,
             heuristic: HeuristicKind::DeepSplit,
+            incremental: true,
         }
     }
 }
@@ -129,6 +136,13 @@ enum ChildEval {
     FalseAlarm(Analysis),
 }
 
+/// A child evaluation plus its reusable bound prefix and work counters.
+struct ChildOutcome {
+    eval: ChildEval,
+    prefix: Option<Arc<BoundPrefix>>,
+    stats: BoundComputeStats,
+}
+
 struct Search<'p> {
     problem: &'p RobustnessProblem,
     config: AbonnConfig,
@@ -138,6 +152,9 @@ struct Search<'p> {
     tree: BabTree,
     /// Analyses of open nodes, dropped on expansion.
     analyses: Vec<Option<Analysis>>,
+    /// Bound prefixes of open nodes, threaded into their expansions and
+    /// dropped afterwards (children carry their own).
+    prefixes: Vec<Option<Arc<BoundPrefix>>>,
     clock: Clock,
     nodes_visited: usize,
 }
@@ -145,20 +162,38 @@ struct Search<'p> {
 /// Evaluates one fresh child sub-problem (one `AppVer` call). Pure in the
 /// inputs — no clock or tree access — so the two children of an expansion
 /// can be evaluated concurrently without touching shared search state.
+/// With `incremental`, the parent's bound prefix lets the verifier skip
+/// layers below the new split; the analysis is bit-for-bit the same.
 fn evaluate_child(
     appver: &dyn AppVer,
     problem: &RobustnessProblem,
     refine_steps: usize,
     splits: &SplitSet,
-) -> ChildEval {
-    let analysis = appver.analyze(problem.margin_net(), problem.region(), splits);
-    if analysis.verified() {
-        return ChildEval::Closed;
+    parent: Option<&Arc<BoundPrefix>>,
+    incremental: bool,
+) -> ChildOutcome {
+    let cached = if incremental {
+        appver.analyze_cached(problem.margin_net(), problem.region(), splits, parent)
+    } else {
+        CachedAnalysis::scratch(appver.analyze(problem.margin_net(), problem.region(), splits))
+    };
+    let CachedAnalysis {
+        analysis,
+        prefix,
+        stats,
+    } = cached;
+    let eval = if analysis.verified() {
+        ChildEval::Closed
+    } else if let Some(w) = check_candidate(problem, &analysis, refine_steps) {
+        ChildEval::Witness(w)
+    } else {
+        ChildEval::FalseAlarm(analysis)
+    };
+    ChildOutcome {
+        eval,
+        prefix,
+        stats,
     }
-    if let Some(w) = check_candidate(problem, &analysis, refine_steps) {
-        return ChildEval::Witness(w);
-    }
-    ChildEval::FalseAlarm(analysis)
 }
 
 impl<'p> Search<'p> {
@@ -204,6 +239,9 @@ impl<'p> Search<'p> {
         let analysis = self.analyses[cur.index()]
             .take()
             .expect("open node retains its analysis");
+        // The node's bound prefix seeds both child evaluations, then is
+        // dropped — each surviving child carries its own.
+        let parent_prefix = self.prefixes[cur.index()].take();
         let ctx = BranchContext {
             net: self.problem.margin_net(),
             analysis: &analysis,
@@ -228,19 +266,31 @@ impl<'p> Search<'p> {
         self.clock.appver_calls += 2;
         let pos_splits = node_splits.with(neuron, SplitSign::Pos);
         let neg_splits = node_splits.with(neuron, SplitSign::Neg);
-        let (appver, problem, refine) = (&*self.appver, self.problem, self.config.refine_steps);
-        let (pos_eval, neg_eval) = self.pool.join2(
-            || evaluate_child(appver, problem, refine, &pos_splits),
-            || evaluate_child(appver, problem, refine, &neg_splits),
+        let (appver, problem, refine, incremental) = (
+            &*self.appver,
+            self.problem,
+            self.config.refine_steps,
+            self.config.incremental,
         );
-        let child_results = vec![pos_eval, neg_eval];
-        let p_hat_of = |r: &ChildEval| match r {
+        let parent = parent_prefix.as_ref();
+        let (pos_out, neg_out) = self.pool.join2(
+            || evaluate_child(appver, problem, refine, &pos_splits, parent, incremental),
+            || evaluate_child(appver, problem, refine, &neg_splits, parent, incremental),
+        );
+        drop(parent_prefix);
+        // Work counters are merged here on the search thread in fixed
+        // (pos, neg) order, so they are invariant to the pool size.
+        self.clock.bound_stats.absorb(&pos_out.stats);
+        self.clock.bound_stats.absorb(&neg_out.stats);
+        let child_results = vec![pos_out, neg_out];
+        let p_hat_of = |r: &ChildOutcome| match &r.eval {
             ChildEval::FalseAlarm(a) => a.p_hat,
             _ => f64::INFINITY, // closed/witness children: p̂ unused below
         };
         let (pos_p, neg_p) = (p_hat_of(&child_results[0]), p_hat_of(&child_results[1]));
         let (pos_id, neg_id) = self.tree.expand(cur, neuron, pos_p, neg_p);
         self.analyses.resize(self.tree.len(), None);
+        self.prefixes.resize(self.tree.len(), None);
 
         let mut witness = None;
         for (id, result) in [(pos_id, neg_id), (neg_id, pos_id)]
@@ -248,7 +298,7 @@ impl<'p> Search<'p> {
             .map(|&(id, _)| id)
             .zip(child_results)
         {
-            match result {
+            match result.eval {
                 ChildEval::Closed => self.tree.close(id),
                 ChildEval::Witness(w) => {
                     self.tree.node_mut(id).reward = f64::INFINITY;
@@ -258,6 +308,9 @@ impl<'p> Search<'p> {
                     let depth = self.tree.node(id).depth;
                     self.tree.node_mut(id).reward = self.reward_of(depth, a.p_hat);
                     self.analyses[id.index()] = Some(a);
+                    // Only nodes that stay open can be expanded later and
+                    // profit from a cached prefix.
+                    self.prefixes[id.index()] = result.prefix;
                 }
             }
         }
@@ -297,14 +350,27 @@ impl AbonnVerifier {
 
         // Initialisation (Lines 1–9): analyze the root problem.
         clock.appver_calls += 1;
-        let root_analysis =
+        let root_cached = if self.config.incremental {
             self.appver
-                .analyze(problem.margin_net(), problem.region(), &SplitSet::new());
+                .analyze_cached(problem.margin_net(), problem.region(), &SplitSet::new(), None)
+        } else {
+            CachedAnalysis::scratch(self.appver.analyze(
+                problem.margin_net(),
+                problem.region(),
+                &SplitSet::new(),
+            ))
+        };
+        clock.bound_stats.absorb(&root_cached.stats);
+        let root_analysis = root_cached.analysis;
+        let root_prefix = root_cached.prefix;
         let stats = |clock: &Clock, tree: Option<&BabTree>, visited: usize| RunStats {
             appver_calls: clock.appver_calls,
             nodes_visited: visited,
             tree_size: tree.map_or(1, BabTree::len),
             max_depth: tree.map_or(0, BabTree::max_depth),
+            cache_layers_reused: clock.bound_stats.layers_reused,
+            cache_layers_recomputed: clock.bound_stats.layers_recomputed,
+            backsub_steps: clock.bound_stats.backsub_steps,
             wall: clock.elapsed(),
         };
         if root_analysis.verified() {
@@ -337,6 +403,7 @@ impl AbonnVerifier {
             heuristic,
             tree,
             analyses: vec![Some(root_analysis)],
+            prefixes: vec![root_prefix],
             clock,
             nodes_visited: 1,
         };

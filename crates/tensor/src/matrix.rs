@@ -273,6 +273,146 @@ impl Matrix {
         out
     }
 
+    /// Like [`matmul`](Self::matmul) but writes into `out`, reusing its
+    /// allocation. `out` is resized and zero-filled; it must not alias
+    /// `self` or `rhs`.
+    ///
+    /// The loop order, zero-skip, and summation order are identical to
+    /// `matmul`, so the result is bit-for-bit the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "Matrix::matmul_into: {}x{} * {}x{} is not defined",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize_zeroed(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+    }
+
+    /// Matrix product `self * rhs_t^T` where `rhs_t` holds the right-hand
+    /// operand already transposed (row `j` of `rhs_t` is column `j` of the
+    /// logical right operand). Both operands are then walked row-major, so
+    /// the inner kernel is a contiguous dot product; columns of the output
+    /// are processed in blocks to keep the active `rhs_t` panel in cache.
+    ///
+    /// Each output entry is a single left-to-right dot over `k`, the same
+    /// summation order `matmul` produces for that entry, so
+    /// `a.matmul_transposed(&b.transpose())` is bit-for-bit `a.matmul(&b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs_t.cols()`.
+    #[must_use]
+    pub fn matmul_transposed(&self, rhs_t: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transposed_into(rhs_t, &mut out);
+        out
+    }
+
+    /// Like [`matmul_transposed`](Self::matmul_transposed) but writes into
+    /// `out`, reusing its allocation. `out` must not alias the operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs_t.cols()`.
+    pub fn matmul_transposed_into(&self, rhs_t: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs_t.cols,
+            "Matrix::matmul_transposed_into: {}x{} * ({}x{})^T is not defined",
+            self.rows, self.cols, rhs_t.rows, rhs_t.cols
+        );
+        const BLOCK: usize = 32;
+        out.resize_zeroed(self.rows, rhs_t.rows);
+        let n = rhs_t.rows;
+        let mut jb = 0;
+        while jb < n {
+            let je = (jb + BLOCK).min(n);
+            for i in 0..self.rows {
+                let arow = self.row(i);
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for j in jb..je {
+                    orow[j] = crate::vecops::dot(arow, rhs_t.row(j));
+                }
+            }
+            jb = je;
+        }
+    }
+
+    /// Fused affine back-substitution step: computes `self * weight` into
+    /// `out` while accumulating `self * bias` into `consts`, in one pass
+    /// over `self`. This is the inner step of DeepPoly back-substitution
+    /// (`A ← A·W`, `c ← c + A·b`) without the intermediate products.
+    ///
+    /// Bit-for-bit contract: `out` matches `self.matmul(weight)` (same ikj
+    /// order and zero-skip), and each `consts[i]` receives exactly
+    /// `dot(self.row(i), bias)` added once — the zero-skip does **not**
+    /// apply to the bias accumulation, matching a plain left-to-right dot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch between `self`, `weight`, `bias`, and
+    /// `consts`.
+    pub fn fused_affine_into(
+        &self,
+        weight: &Matrix,
+        bias: &[f64],
+        consts: &mut [f64],
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, weight.rows,
+            "Matrix::fused_affine_into: {}x{} * {}x{} is not defined",
+            self.rows, self.cols, weight.rows, weight.cols
+        );
+        assert_eq!(
+            bias.len(),
+            self.cols,
+            "Matrix::fused_affine_into: bias length {} does not match {} cols",
+            bias.len(),
+            self.cols
+        );
+        assert_eq!(
+            consts.len(),
+            self.rows,
+            "Matrix::fused_affine_into: consts length {} does not match {} rows",
+            consts.len(),
+            self.rows
+        );
+        out.resize_zeroed(self.rows, weight.cols);
+        for i in 0..self.rows {
+            let mut c = 0.0;
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                c += a * bias[k];
+                if a == 0.0 {
+                    continue;
+                }
+                let wrow = &weight.data[k * weight.cols..(k + 1) * weight.cols];
+                let orow = &mut out.data[i * weight.cols..(i + 1) * weight.cols];
+                for (o, &w) in orow.iter_mut().zip(wrow) {
+                    *o += a * w;
+                }
+            }
+            consts[i] += c;
+        }
+    }
+
     /// Matrix–vector product `self * x`.
     ///
     /// # Panics
@@ -280,6 +420,19 @@ impl Matrix {
     /// Panics if `x.len() != self.cols()`.
     #[must_use]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Like [`matvec`](Self::matvec) but writes into `out`, reusing its
+    /// allocation. The per-row dot order is unchanged, so results are
+    /// bit-for-bit identical to `matvec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(
             x.len(),
             self.cols,
@@ -287,9 +440,8 @@ impl Matrix {
             x.len(),
             self.cols
         );
-        (0..self.rows)
-            .map(|i| crate::vecops::dot(self.row(i), x))
-            .collect()
+        out.clear();
+        out.extend((0..self.rows).map(|i| crate::vecops::dot(self.row(i), x)));
     }
 
     /// Vector–matrix product `x^T * self`, i.e. the transpose applied to `x`.
@@ -327,10 +479,15 @@ impl Matrix {
     /// Applies `f` to every entry, returning a new matrix.
     #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+        let mut out = self.clone();
+        out.map_in_place(f);
+        out
+    }
+
+    /// Applies `f` to every entry in place, without allocating.
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
         }
     }
 
@@ -338,6 +495,29 @@ impl Matrix {
     #[must_use]
     pub fn scale(&self, s: f64) -> Matrix {
         self.map(|v| v * s)
+    }
+
+    /// Multiplies every entry by `s` in place, without allocating.
+    pub fn scale_in_place(&mut self, s: f64) {
+        self.map_in_place(|v| v * s);
+    }
+
+    /// Makes `self` a copy of `src`, reusing the existing allocation when
+    /// it is large enough.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Resizes to `rows × cols` and fills with zeros, reusing the existing
+    /// allocation when it is large enough.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Adds `s * rhs` into `self` in place.
@@ -375,6 +555,14 @@ impl Matrix {
             .iter()
             .enumerate()
             .map(move |(k, &v)| (k / cols, k % cols, v))
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix — the natural seed for reusable scratch
+    /// buffers filled via [`Matrix::copy_from`] / [`Matrix::resize_zeroed`].
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -546,5 +734,85 @@ mod tests {
                 prop_assert!(approx_eq(u, v, 1e-9));
             }
         }
+
+        #[test]
+        fn matmul_into_is_bit_identical_to_matmul(
+            a in small_matrix(3, 4),
+            b in small_matrix(4, 5),
+        ) {
+            // Start from a dirty, differently-shaped buffer to prove the
+            // reset is complete.
+            let mut out = Matrix::from_fn(7, 2, |_, _| 42.0);
+            a.matmul_into(&b, &mut out);
+            let expect = a.matmul(&b);
+            prop_assert_eq!(out.rows(), expect.rows());
+            prop_assert_eq!(out.cols(), expect.cols());
+            for (u, v) in out.as_slice().iter().zip(expect.as_slice()) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+
+        #[test]
+        fn matmul_transposed_is_bit_identical_to_matmul(
+            a in small_matrix(3, 4),
+            b in small_matrix(4, 5),
+        ) {
+            let out = a.matmul_transposed(&b.transpose());
+            let expect = a.matmul(&b);
+            for (u, v) in out.as_slice().iter().zip(expect.as_slice()) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+
+        #[test]
+        fn fused_affine_matches_matmul_plus_dot(
+            a in small_matrix(3, 4),
+            w in small_matrix(4, 5),
+            bias in proptest::collection::vec(-5.0..5.0_f64, 4),
+            consts in proptest::collection::vec(-5.0..5.0_f64, 3),
+        ) {
+            let mut fused_c = consts.clone();
+            let mut out = Matrix::zeros(0, 0);
+            a.fused_affine_into(&w, &bias, &mut fused_c, &mut out);
+            let expect = a.matmul(&w);
+            for (u, v) in out.as_slice().iter().zip(expect.as_slice()) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+            for (i, c0) in consts.iter().enumerate() {
+                let want = c0 + crate::vecops::dot(a.row(i), &bias);
+                prop_assert_eq!(fused_c[i].to_bits(), want.to_bits());
+            }
+        }
+
+        #[test]
+        fn matvec_into_reuses_buffer_and_matches(
+            a in small_matrix(4, 3),
+            x in proptest::collection::vec(-5.0..5.0_f64, 3),
+        ) {
+            let mut out = vec![9.0; 17];
+            a.matvec_into(&x, &mut out);
+            prop_assert_eq!(&out, &a.matvec(&x));
+        }
+    }
+
+    #[test]
+    fn in_place_map_and_scale_match_allocating_variants() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64 - 6.5);
+        let mut b = a.clone();
+        b.map_in_place(|v| v.abs() + 1.0);
+        assert_eq!(b, a.map(|v| v.abs() + 1.0));
+        let mut c = a.clone();
+        c.scale_in_place(-2.5);
+        assert_eq!(c, a.scale(-2.5));
+    }
+
+    #[test]
+    fn copy_from_and_resize_zeroed_reset_shape_and_contents() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+        let mut buf = Matrix::from_fn(5, 5, |_, _| 1.0);
+        buf.copy_from(&a);
+        assert_eq!(buf, a);
+        buf.resize_zeroed(4, 2);
+        assert_eq!(buf, Matrix::zeros(4, 2));
     }
 }

@@ -25,5 +25,14 @@ cargo run --release -q -p abonn-bench --bin table2 -- \
     --scale smoke --seed 2025 --threads 1 --fresh --out-dir "$out1" >/dev/null
 diff "$out2/rq1-smoke-2025.json" "$out1/rq1-smoke-2025.json"
 
-rm -rf "$out1" "$out2"
+echo "== cache equivalence: --no-bound-cache must reproduce every report byte =="
+outnc=$(mktemp -d)
+cargo run --release -q -p abonn-bench --bin table2 -- \
+    --scale smoke --seed 2025 --threads 2 --fresh --no-bound-cache \
+    --out-dir "$outnc" >/dev/null
+for report in "$out2"/rq1-smoke-2025.* "$out2"/table2.csv; do
+    diff "$report" "$outnc/$(basename "$report")"
+done
+
+rm -rf "$out1" "$out2" "$outnc"
 echo "ci: ok"
