@@ -47,18 +47,18 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Registers and immediately runs one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_benchmark(self.measure, name, f);
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self {
+        run_benchmark(self.measure, name.as_ref(), f);
         self
     }
 
     /// Starts a named group of related benchmarks.
-    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
         let measure = self.measure;
         BenchmarkGroup {
             _parent: self,
             measure,
-            name: name.to_string(),
+            name: name.as_ref().to_string(),
         }
     }
 }
@@ -77,8 +77,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Registers and immediately runs one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_benchmark(self.measure, &format!("{}/{}", self.name, name), f);
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self {
+        run_benchmark(
+            self.measure,
+            &format!("{}/{}", self.name, name.as_ref()),
+            f,
+        );
         self
     }
 

@@ -1,0 +1,120 @@
+//! Differential fuzzing front-end for the soundness audit subsystem.
+//!
+//! ```sh
+//! cargo run --release -p abonn-bench --bin fuzz -- \
+//!     --seed 42 --count 100 [--out-dir DIR]
+//! cargo run --release -p abonn-bench --bin fuzz -- --replay repro.json
+//! ```
+//!
+//! A campaign derives `--count` verification instances deterministically
+//! from `--seed`, runs every engine variant on each (see
+//! `abonn-check`'s `fuzz` module for the cross-check list), minimizes
+//! any failing case, and dumps it as a re-runnable JSON repro under
+//! `--out-dir`. Exits 0 on a clean campaign, 1 on any failure,
+//! 2 on usage errors.
+
+use abonn_check::{run_campaign, run_case, FuzzCase};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    seed: u64,
+    count: u64,
+    out_dir: PathBuf,
+    replay: Option<PathBuf>,
+}
+
+const USAGE: &str =
+    "usage: fuzz [--seed N] [--count N] [--out-dir DIR] | fuzz --replay CASE.json";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        seed: 2025,
+        count: 25,
+        out_dir: PathBuf::from("target/fuzz"),
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => opts.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--count" => opts.count = value()?.parse().map_err(|e| format!("bad --count: {e}"))?,
+            "--out-dir" => opts.out_dir = PathBuf::from(value()?),
+            "--replay" => opts.replay = Some(PathBuf::from(value()?)),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn replay(path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let case = match FuzzCase::from_json(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match run_case(&case) {
+        Ok(report) => {
+            println!("case passes every cross-check ({report:?})");
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            println!("case still fails: {failure}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.replay {
+        return replay(path);
+    }
+
+    eprintln!("fuzzing {} cases from seed {}", opts.count, opts.seed);
+    let outcome = run_campaign(opts.seed, opts.count);
+    println!(
+        "{} cases: {} verified, {} falsified, {} timeout; {} certificate audits passed; \
+         {} failures",
+        outcome.cases,
+        outcome.verified,
+        outcome.falsified,
+        outcome.timeout,
+        outcome.audits_passed,
+        outcome.failures.len()
+    );
+    if outcome.failures.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("cannot create {}: {e}", opts.out_dir.display());
+    }
+    for (case, failure) in &outcome.failures {
+        let path = opts
+            .out_dir
+            .join(format!("repro-s{}-i{}.json", case.seed, case.index));
+        println!("FAIL case {}/{}: {failure}", case.seed, case.index);
+        match std::fs::write(&path, case.to_json()) {
+            Ok(()) => println!("  repro written to {}", path.display()),
+            Err(e) => eprintln!("  cannot write repro: {e}"),
+        }
+    }
+    ExitCode::from(1)
+}

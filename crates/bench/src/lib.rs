@@ -11,6 +11,11 @@
 //! | Fig. 6 (RQ3 violated/certified split)  | `fig6`     | [`experiments::fig6`] |
 //! | Ablations (extensions)                 | `ablation` | [`experiments::ablation`] |
 //!
+//! Two soundness-audit binaries ride alongside the experiment runners:
+//! `fuzz` (seeded differential fuzzing across all engines, JSON repros
+//! for minimized failures) and `check` (replay of every emitted
+//! certificate through the independent checker in `abonn-check`).
+//!
 //! Every binary accepts `--scale {smoke,default,full}`, `--seed N`,
 //! `--out-dir PATH`, and `--fresh` (ignore cached run records). Results
 //! are printed as text tables shaped like the paper's and persisted as

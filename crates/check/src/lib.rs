@@ -1,0 +1,39 @@
+//! Soundness audit subsystem: an independent certificate checker and a
+//! seeded differential fuzzing harness.
+//!
+//! The engines under test (`abonn-core`'s MCTS search, the BaB baseline,
+//! and the CROWN-style baseline) all bound sub-problems with the
+//! DeepPoly/α-CROWN back-substitution machinery in `abonn-bound`. A bug
+//! there could make *every* engine wrong in the same way, so this crate
+//! re-establishes `Verified` verdicts from first principles:
+//!
+//! * [`interval`] reimplements plain interval propagation from its
+//!   definition — no code shared with `abonn-bound`'s analyzers.
+//! * [`leaf`] escalates each leaf obligation through three independent
+//!   stages: intervals, a triangle-relaxation LP over the interval boxes,
+//!   and a layerwise LP-refined variant whose bound provably dominates
+//!   any back-substituted bound the engines could have used (see
+//!   `DESIGN.md` §5d).
+//! * [`audit`] replays a [`Certificate`](abonn_core::Certificate)'s flat
+//!   terminal collection, rejecting overlapping or non-covering split
+//!   sets before any leaf is believed.
+//! * [`fuzz`] generates seeded random verification instances, runs all
+//!   three engines across cache and thread configurations, and
+//!   cross-checks verdicts, witnesses, `RunStats` determinism, and
+//!   certificates; failures are minimized into re-runnable JSON repros.
+//!
+//! What this crate deliberately shares with the engines: the problem and
+//! certificate *types* (`abonn-core`), the network representation
+//! (`abonn-nn`), and the simplex solver (`abonn-lp`). What it deliberately
+//! reimplements: every bound computation.
+
+pub mod audit;
+pub mod fuzz;
+pub mod interval;
+pub mod leaf;
+
+pub use audit::{audit_certificate, audit_partial, AuditError, AuditReport};
+pub use fuzz::{generate_case, minimize, run_campaign, run_case, CampaignOutcome, FuzzCase,
+    FuzzFailure};
+pub use interval::{propagate, IntervalBounds};
+pub use leaf::{check_leaf, LeafError, LeafOutcome, LeafStage};

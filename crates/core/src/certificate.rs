@@ -21,12 +21,22 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProofNode {
     /// The sub-problem at this path is claimed verifiable by a single
-    /// `AppVer` call.
-    Leaf,
+    /// `AppVer` call. The leaf records its own split set (the emitting
+    /// engine's provenance), so an auditor can validate the claimed
+    /// region collection *flat*, without trusting the tree structure.
+    Leaf {
+        /// The split constraints identifying the leaf's sub-problem,
+        /// sorted by `(layer, index)`.
+        splits: Vec<(NeuronId, SplitSign)>,
+    },
     /// The sub-problem at this path was still unresolved when the search
     /// stopped. Partial certificates exported on timeout contain these;
     /// they record an outstanding obligation and never check.
-    Open,
+    Open {
+        /// The split constraints identifying the unexplored sub-problem,
+        /// sorted by `(layer, index)`.
+        splits: Vec<(NeuronId, SplitSign)>,
+    },
     /// Case split on one ReLU's phase.
     Branch {
         /// The split neuron.
@@ -39,12 +49,30 @@ pub enum ProofNode {
 }
 
 impl ProofNode {
+    /// A verified leaf with its split-set provenance.
+    #[must_use]
+    pub fn leaf(splits: Vec<(NeuronId, SplitSign)>) -> Self {
+        ProofNode::Leaf { splits }
+    }
+
+    /// The root leaf: the whole region verified in one call.
+    #[must_use]
+    pub fn root_leaf() -> Self {
+        ProofNode::Leaf { splits: Vec::new() }
+    }
+
+    /// An open obligation with its split-set provenance.
+    #[must_use]
+    pub fn open(splits: Vec<(NeuronId, SplitSign)>) -> Self {
+        ProofNode::Open { splits }
+    }
+
     /// Number of verified leaves below this node (inclusive).
     #[must_use]
     pub fn num_leaves(&self) -> usize {
         match self {
-            ProofNode::Leaf => 1,
-            ProofNode::Open => 0,
+            ProofNode::Leaf { .. } => 1,
+            ProofNode::Open { .. } => 0,
             ProofNode::Branch { pos, neg, .. } => pos.num_leaves() + neg.num_leaves(),
         }
     }
@@ -53,8 +81,8 @@ impl ProofNode {
     #[must_use]
     pub fn num_open(&self) -> usize {
         match self {
-            ProofNode::Leaf => 0,
-            ProofNode::Open => 1,
+            ProofNode::Leaf { .. } => 0,
+            ProofNode::Open { .. } => 1,
             ProofNode::Branch { pos, neg, .. } => pos.num_open() + neg.num_open(),
         }
     }
@@ -63,8 +91,30 @@ impl ProofNode {
     #[must_use]
     pub fn depth(&self) -> usize {
         match self {
-            ProofNode::Leaf | ProofNode::Open => 0,
+            ProofNode::Leaf { .. } | ProofNode::Open { .. } => 0,
             ProofNode::Branch { pos, neg, .. } => 1 + pos.depth().max(neg.depth()),
+        }
+    }
+
+    /// Collects the recorded split sets of every terminal (leaf or open)
+    /// node in depth-first `(pos, neg)` order, each tagged with whether
+    /// the terminal is a verified leaf (`true`) or an open obligation
+    /// (`false`).
+    #[must_use]
+    pub fn terminals(&self) -> Vec<(Vec<(NeuronId, SplitSign)>, bool)> {
+        let mut out = Vec::new();
+        self.collect_terminals(&mut out);
+        out
+    }
+
+    fn collect_terminals(&self, out: &mut Vec<(Vec<(NeuronId, SplitSign)>, bool)>) {
+        match self {
+            ProofNode::Leaf { splits } => out.push((splits.clone(), true)),
+            ProofNode::Open { splits } => out.push((splits.clone(), false)),
+            ProofNode::Branch { pos, neg, .. } => {
+                pos.collect_terminals(out);
+                neg.collect_terminals(out);
+            }
         }
     }
 }
@@ -118,6 +168,15 @@ pub enum CertificateError {
         /// Path to the open node as `(neuron, sign)` pairs.
         path: Vec<(NeuronId, SplitSign)>,
     },
+    /// A terminal node's recorded split-set provenance disagrees with the
+    /// branch path leading to it — the certificate was assembled
+    /// inconsistently (or tampered with).
+    SplitMismatch {
+        /// Path to the terminal as `(neuron, sign)` pairs.
+        path: Vec<(NeuronId, SplitSign)>,
+        /// The split set the terminal itself recorded.
+        recorded: Vec<(NeuronId, SplitSign)>,
+    },
 }
 
 impl fmt::Display for CertificateError {
@@ -138,6 +197,14 @@ impl fmt::Display for CertificateError {
                     f,
                     "open proof obligation at depth {} (partial certificate)",
                     path.len()
+                )
+            }
+            CertificateError::SplitMismatch { path, recorded } => {
+                write!(
+                    f,
+                    "terminal at depth {} records {} splits disagreeing with its path",
+                    path.len(),
+                    recorded.len()
                 )
             }
         }
@@ -193,6 +260,14 @@ impl Certificate {
         self.root.depth()
     }
 
+    /// The recorded split sets of every terminal node (see
+    /// [`ProofNode::terminals`]): the flat region collection an
+    /// independent auditor validates for exact coverage.
+    #[must_use]
+    pub fn terminals(&self) -> Vec<(Vec<(NeuronId, SplitSign)>, bool)> {
+        self.root.terminals()
+    }
+
     /// Re-establishes the `Verified` verdict: walks the tree and checks
     /// every leaf with `verifier`.
     ///
@@ -235,7 +310,8 @@ fn check_node(
     leaves: &mut usize,
 ) -> Result<(), CertificateError> {
     match node {
-        ProofNode::Leaf => {
+        ProofNode::Leaf { splits: recorded } => {
+            check_provenance(recorded, splits, path)?;
             let analysis = verifier.analyze(problem.margin_net(), problem.region(), splits);
             if !analysis.verified() {
                 return Err(CertificateError::LeafNotVerified {
@@ -246,7 +322,10 @@ fn check_node(
             *leaves += 1;
             Ok(())
         }
-        ProofNode::Open => Err(CertificateError::IncompleteProof { path: path.clone() }),
+        ProofNode::Open { splits: recorded } => {
+            check_provenance(recorded, splits, path)?;
+            Err(CertificateError::IncompleteProof { path: path.clone() })
+        }
         ProofNode::Branch { neuron, pos, neg } => {
             if splits.sign_of(*neuron).is_some() {
                 return Err(CertificateError::DuplicateSplit(*neuron));
@@ -266,6 +345,27 @@ fn check_node(
             Ok(())
         }
     }
+}
+
+/// Validates a terminal's recorded split-set provenance against the split
+/// set accumulated along its branch path. Order-insensitive: the recorded
+/// pairs are compared as a set.
+fn check_provenance(
+    recorded: &[(NeuronId, SplitSign)],
+    splits: &SplitSet,
+    path: &[(NeuronId, SplitSign)],
+) -> Result<(), CertificateError> {
+    let mut sorted: Vec<(NeuronId, SplitSign)> = recorded.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let from_path: Vec<(NeuronId, SplitSign)> = splits.iter().collect();
+    if sorted != from_path {
+        return Err(CertificateError::SplitMismatch {
+            path: path.to_vec(),
+            recorded: recorded.to_vec(),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -294,7 +394,7 @@ mod tests {
     #[test]
     fn trivial_leaf_certificate_checks_on_robust_problem() {
         let problem = robust_problem();
-        let cert = Certificate::new(ProofNode::Leaf);
+        let cert = Certificate::new(ProofNode::root_leaf());
         let stats = cert.check(&problem, &DeepPoly::new()).unwrap();
         assert_eq!(stats.leaves, 1);
         assert_eq!(stats.depth, 0);
@@ -305,7 +405,7 @@ mod tests {
         // Radius large enough that a single DeepPoly call cannot verify.
         let net = robust_problem().network().clone();
         let problem = RobustnessProblem::new(&net, vec![0.5, 0.5], 0, 0.45).unwrap();
-        let cert = Certificate::new(ProofNode::Leaf);
+        let cert = Certificate::new(ProofNode::root_leaf());
         assert!(matches!(
             cert.check(&problem, &DeepPoly::new()),
             Err(CertificateError::LeafNotVerified { .. })
@@ -318,8 +418,8 @@ mod tests {
         let n = NeuronId::new(0, 0);
         let inner = ProofNode::Branch {
             neuron: n,
-            pos: Box::new(ProofNode::Leaf),
-            neg: Box::new(ProofNode::Leaf),
+            pos: Box::new(ProofNode::root_leaf()),
+            neg: Box::new(ProofNode::root_leaf()),
         };
         let cert = Certificate::new(ProofNode::Branch {
             neuron: n,
@@ -335,10 +435,11 @@ mod tests {
     #[test]
     fn open_obligations_make_a_certificate_partial() {
         let problem = robust_problem();
+        let n = NeuronId::new(0, 0);
         let cert = Certificate::new(ProofNode::Branch {
-            neuron: NeuronId::new(0, 0),
-            pos: Box::new(ProofNode::Leaf),
-            neg: Box::new(ProofNode::Open),
+            neuron: n,
+            pos: Box::new(ProofNode::leaf(vec![(n, SplitSign::Pos)])),
+            neg: Box::new(ProofNode::open(vec![(n, SplitSign::Neg)])),
         });
         assert!(!cert.is_complete());
         assert_eq!(cert.num_open(), 1);
@@ -353,18 +454,39 @@ mod tests {
     }
 
     #[test]
-    fn counts_and_serde_roundtrip() {
+    fn mismatched_provenance_is_rejected() {
+        let problem = robust_problem();
+        let n = NeuronId::new(0, 0);
+        // The pos leaf records the *wrong* sign for its own path.
         let cert = Certificate::new(ProofNode::Branch {
-            neuron: NeuronId::new(0, 1),
-            pos: Box::new(ProofNode::Leaf),
+            neuron: n,
+            pos: Box::new(ProofNode::leaf(vec![(n, SplitSign::Neg)])),
+            neg: Box::new(ProofNode::leaf(vec![(n, SplitSign::Neg)])),
+        });
+        assert!(matches!(
+            cert.check(&problem, &DeepPoly::new()),
+            Err(CertificateError::SplitMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_terminals_and_serde_roundtrip() {
+        let (a, b) = (NeuronId::new(0, 1), NeuronId::new(1, 0));
+        let cert = Certificate::new(ProofNode::Branch {
+            neuron: a,
+            pos: Box::new(ProofNode::leaf(vec![(a, SplitSign::Pos)])),
             neg: Box::new(ProofNode::Branch {
-                neuron: NeuronId::new(1, 0),
-                pos: Box::new(ProofNode::Leaf),
-                neg: Box::new(ProofNode::Leaf),
+                neuron: b,
+                pos: Box::new(ProofNode::leaf(vec![(a, SplitSign::Neg), (b, SplitSign::Pos)])),
+                neg: Box::new(ProofNode::leaf(vec![(a, SplitSign::Neg), (b, SplitSign::Neg)])),
             }),
         });
         assert_eq!(cert.num_leaves(), 3);
         assert_eq!(cert.depth(), 2);
+        let terminals = cert.terminals();
+        assert_eq!(terminals.len(), 3);
+        assert!(terminals.iter().all(|(_, closed)| *closed));
+        assert_eq!(terminals[0].0, vec![(a, SplitSign::Pos)]);
         let json = serde_json::to_string(&cert).unwrap();
         let back: Certificate = serde_json::from_str(&json).unwrap();
         assert_eq!(cert, back);

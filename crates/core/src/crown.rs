@@ -9,6 +9,8 @@
 //! place of β, and a most-violated-first priority queue in place of
 //! batched frontier expansion.
 
+use crate::bab::{assemble_certificate, ProtoNode};
+use crate::certificate::Certificate;
 use crate::driver::{
     check_candidate, resolve_exhausted_leaf, Budget, Clock, RunResult, RunStats, Verdict, Verifier,
 };
@@ -26,6 +28,8 @@ struct Entry {
     p_hat: f64,
     seq: usize,
     splits: SplitSet,
+    /// Index into the proof-tree bookkeeping for certificate assembly.
+    proto: usize,
 }
 
 impl PartialEq for Entry {
@@ -97,8 +101,26 @@ impl CrownStyle {
     }
 }
 
-impl Verifier for CrownStyle {
-    fn verify(&self, problem: &RobustnessProblem, budget: &Budget) -> RunResult {
+impl CrownStyle {
+    /// Like [`Verifier::verify`], additionally returning a checkable
+    /// [`Certificate`] when the verdict is [`Verdict::Verified`], or a
+    /// partial certificate with open obligations on timeout. Falsified
+    /// runs carry their witness in the verdict instead.
+    #[must_use]
+    pub fn verify_with_certificate(
+        &self,
+        problem: &RobustnessProblem,
+        budget: &Budget,
+    ) -> (RunResult, Option<Certificate>) {
+        self.verify_impl(problem, budget, true)
+    }
+
+    fn verify_impl(
+        &self,
+        problem: &RobustnessProblem,
+        budget: &Budget,
+        want_certificate: bool,
+    ) -> (RunResult, Option<Certificate>) {
         let mut clock = Clock::new(*budget);
         let mut nodes_visited = 0usize;
         let mut tree_size = 1usize;
@@ -116,6 +138,11 @@ impl Verifier for CrownStyle {
                 // prefix reuse does not apply; counters stay zero.
                 ..RunStats::default()
             },
+        };
+        let mut protos = vec![ProtoNode::pending()];
+        let cert = |protos: &[ProtoNode]| {
+            want_certificate
+                .then(|| Certificate::new(assemble_certificate(protos, 0, &SplitSet::new())))
         };
 
         // Stage 1: PGD pre-attack on the whole region. Classification
@@ -137,7 +164,7 @@ impl Verifier for CrownStyle {
         };
         if let Some(w) = pre_attack_hit {
             debug_assert!(problem.validate_witness(&w));
-            return finish(Verdict::Falsified(w), &clock, 0, 1, 0);
+            return (finish(Verdict::Falsified(w), &clock, 0, 1, 0), None);
         }
 
         // Stage 2: best-first BaB, most violated sub-problem first.
@@ -150,25 +177,30 @@ impl Verifier for CrownStyle {
             .appver
             .analyze(problem.margin_net(), problem.region(), &SplitSet::new());
         if root.verified() {
-            return finish(Verdict::Verified, &clock, 1, 1, 0);
+            protos[0].resolved = true;
+            return (finish(Verdict::Verified, &clock, 1, 1, 0), cert(&protos));
         }
         if let Some(w) = check_candidate(problem, &root, self.refine_steps) {
-            return finish(Verdict::Falsified(w), &clock, 1, 1, 0);
+            return (finish(Verdict::Falsified(w), &clock, 1, 1, 0), None);
         }
         heap.push(Entry {
             p_hat: root.p_hat,
             seq,
             splits: SplitSet::new(),
+            proto: 0,
         });
 
         while let Some(entry) = heap.pop() {
             if clock.exhausted() {
-                return finish(
-                    Verdict::Timeout,
-                    &clock,
-                    nodes_visited,
-                    tree_size,
-                    max_depth,
+                return (
+                    finish(
+                        Verdict::Timeout,
+                        &clock,
+                        nodes_visited,
+                        tree_size,
+                        max_depth,
+                    ),
+                    cert(&protos),
                 );
             }
             nodes_visited += 1;
@@ -182,15 +214,19 @@ impl Verifier for CrownStyle {
                 self.appver
                     .analyze(problem.margin_net(), problem.region(), &entry.splits);
             if analysis.verified() {
+                protos[entry.proto].resolved = true;
                 continue;
             }
             if let Some(w) = check_candidate(problem, &analysis, self.refine_steps) {
-                return finish(
-                    Verdict::Falsified(w),
-                    &clock,
-                    nodes_visited,
-                    tree_size,
-                    max_depth,
+                return (
+                    finish(
+                        Verdict::Falsified(w),
+                        &clock,
+                        nodes_visited,
+                        tree_size,
+                        max_depth,
+                    ),
+                    None,
                 );
             }
             let ctx = BranchContext {
@@ -200,17 +236,25 @@ impl Verifier for CrownStyle {
             };
             let Some(neuron) = heuristic.select(&ctx) else {
                 if let Some(w) = resolve_exhausted_leaf(problem, &entry.splits, &mut clock) {
-                    return finish(
-                        Verdict::Falsified(w),
-                        &clock,
-                        nodes_visited,
-                        tree_size,
-                        max_depth,
+                    return (
+                        finish(
+                            Verdict::Falsified(w),
+                            &clock,
+                            nodes_visited,
+                            tree_size,
+                            max_depth,
+                        ),
+                        None,
                     );
                 }
+                protos[entry.proto].resolved = true;
                 continue;
             };
-            for sign in [SplitSign::Pos, SplitSign::Neg] {
+            let pos_idx = protos.len();
+            protos.push(ProtoNode::pending());
+            protos.push(ProtoNode::pending());
+            protos[entry.proto].branch = Some((neuron, pos_idx, pos_idx + 1));
+            for (child_idx, sign) in [(pos_idx, SplitSign::Pos), (pos_idx + 1, SplitSign::Neg)] {
                 let child = entry.splits.with(neuron, sign);
                 clock.appver_calls += 1;
                 let child_analysis =
@@ -218,15 +262,19 @@ impl Verifier for CrownStyle {
                         .analyze(problem.margin_net(), problem.region(), &child);
                 tree_size += 1;
                 if child_analysis.verified() {
+                    protos[child_idx].resolved = true;
                     continue;
                 }
                 if let Some(w) = check_candidate(problem, &child_analysis, self.refine_steps) {
-                    return finish(
-                        Verdict::Falsified(w),
-                        &clock,
-                        nodes_visited,
-                        tree_size,
-                        max_depth,
+                    return (
+                        finish(
+                            Verdict::Falsified(w),
+                            &clock,
+                            nodes_visited,
+                            tree_size,
+                            max_depth,
+                        ),
+                        None,
                     );
                 }
                 seq += 1;
@@ -234,16 +282,26 @@ impl Verifier for CrownStyle {
                     p_hat: child_analysis.p_hat,
                     seq,
                     splits: child,
+                    proto: child_idx,
                 });
             }
         }
-        finish(
-            Verdict::Verified,
-            &clock,
-            nodes_visited,
-            tree_size,
-            max_depth,
+        (
+            finish(
+                Verdict::Verified,
+                &clock,
+                nodes_visited,
+                tree_size,
+                max_depth,
+            ),
+            cert(&protos),
         )
+    }
+}
+
+impl Verifier for CrownStyle {
+    fn verify(&self, problem: &RobustnessProblem, budget: &Budget) -> RunResult {
+        self.verify_impl(problem, budget, false).0
     }
 
     fn name(&self) -> String {
@@ -319,6 +377,55 @@ mod tests {
     }
 
     #[test]
+    fn verified_run_emits_checkable_certificate() {
+        use abonn_bound::{Cascade, DeepPoly, LpVerifier};
+        let net = relu_compare_net();
+        let p = RobustnessProblem::new(&net, vec![0.8, 0.2], 0, 0.02).unwrap();
+        let (r, cert) =
+            CrownStyle::default().verify_with_certificate(&p, &Budget::with_appver_calls(300));
+        assert_eq!(r.verdict, Verdict::Verified);
+        let cert = cert.expect("verified run must emit a certificate");
+        assert!(cert.is_complete());
+        let checker = Cascade::new(vec![Arc::new(DeepPoly::new()), Arc::new(LpVerifier::new())]);
+        cert.check(&p, &checker).expect("certificate checks");
+        let plain = CrownStyle::default().verify(&p, &Budget::with_appver_calls(300));
+        let no_wall = |mut s: RunStats| {
+            s.wall = std::time::Duration::ZERO;
+            s
+        };
+        assert_eq!(no_wall(plain.stats), no_wall(r.stats));
+    }
+
+    #[test]
+    fn timeout_run_emits_partial_certificate() {
+        // Same loose-relaxation gate construction as the BaB test: robust,
+        // but the subtracted unstable gates force branching.
+        let net = Network::new(
+            Shape::Flat(2),
+            vec![
+                Layer::dense(
+                    Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]),
+                    vec![-1.0, -0.9, 0.0, 0.0],
+                ),
+                Layer::relu(),
+                Layer::dense(
+                    Matrix::from_rows(&[&[-0.2, -0.2, 1.0, 0.0], &[0.0, 0.0, 0.0, 1.0]]),
+                    vec![0.0, 0.0],
+                ),
+            ],
+        )
+        .unwrap();
+        let p = RobustnessProblem::new(&net, vec![0.8, 0.2], 0, 0.28).unwrap();
+        let (r, cert) =
+            CrownStyle::default().verify_with_certificate(&p, &Budget::with_appver_calls(2));
+        if r.verdict == Verdict::Timeout {
+            let cert = cert.expect("timeout must emit a partial certificate");
+            assert!(!cert.is_complete());
+            assert!(cert.num_open() >= 1);
+        }
+    }
+
+    #[test]
     fn entry_ordering_pops_most_violated_first() {
         let mut heap = BinaryHeap::new();
         for (i, p) in [-0.5, -2.0, -1.0].iter().enumerate() {
@@ -326,6 +433,7 @@ mod tests {
                 p_hat: *p,
                 seq: i,
                 splits: SplitSet::new(),
+                proto: 0,
             });
         }
         assert_eq!(heap.pop().unwrap().p_hat, -2.0);

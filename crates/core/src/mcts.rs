@@ -374,7 +374,7 @@ impl AbonnVerifier {
             wall: clock.elapsed(),
         };
         if root_analysis.verified() {
-            let certificate = want_certificate.then(|| Certificate::new(ProofNode::Leaf));
+            let certificate = want_certificate.then(|| Certificate::new(ProofNode::root_leaf()));
             return (
                 RunResult {
                     verdict: Verdict::Verified,
@@ -456,12 +456,14 @@ impl AbonnVerifier {
 
 /// Converts the BaB tree into a proof tree. Closed childless nodes become
 /// verified leaves; nodes the search never resolved (timeout) become
-/// [`ProofNode::Open`] obligations, yielding a partial certificate.
+/// [`ProofNode::Open`] obligations, yielding a partial certificate. Each
+/// terminal records its own split set (the node's `Γ`) as provenance.
 fn certificate_from_tree(tree: &crate::tree::BabTree) -> Certificate {
     fn convert(tree: &crate::tree::BabTree, id: NodeId) -> ProofNode {
+        let provenance = || tree.node(id).splits.iter().collect();
         match tree.node(id).children {
-            None if tree.node(id).state == NodeState::Closed => ProofNode::Leaf,
-            None => ProofNode::Open,
+            None if tree.node(id).state == NodeState::Closed => ProofNode::leaf(provenance()),
+            None => ProofNode::open(provenance()),
             Some((pos, neg)) => ProofNode::Branch {
                 neuron: tree
                     .node(id)

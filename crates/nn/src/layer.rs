@@ -205,7 +205,7 @@ impl AvgPool2d {
     /// input exactly.
     #[must_use]
     pub fn output_hw(&self, h: usize, w: usize) -> Option<(usize, usize)> {
-        (h % self.k == 0 && w % self.k == 0 && h > 0 && w > 0).then(|| (h / self.k, w / self.k))
+        (h.is_multiple_of(self.k) && w.is_multiple_of(self.k) && h > 0 && w > 0).then(|| (h / self.k, w / self.k))
     }
 }
 

@@ -30,15 +30,15 @@ fn bench_matmul_variants(c: &mut Criterion) {
         // difference is traversal order and allocation discipline.
         println!("matmul {n}x{n}: {} multiply-adds per call", n * n * n);
 
-        c.bench_function(&format!("tensor/matmul_{n}"), |bench| {
+        c.bench_function(format!("tensor/matmul_{n}"), |bench| {
             bench.iter(|| black_box(a.matmul(black_box(&b))))
         });
-        c.bench_function(&format!("tensor/matmul_transposed_{n}"), |bench| {
+        c.bench_function(format!("tensor/matmul_transposed_{n}"), |bench| {
             bench.iter(|| black_box(a.matmul_transposed(black_box(&b_t))))
         });
 
         let mut out = Matrix::default();
-        c.bench_function(&format!("tensor/matmul_into_{n}"), |bench| {
+        c.bench_function(format!("tensor/matmul_into_{n}"), |bench| {
             bench.iter(|| {
                 a.matmul_into(black_box(&b), &mut out);
                 black_box(out.get(0, 0))
@@ -47,7 +47,7 @@ fn bench_matmul_variants(c: &mut Criterion) {
 
         let bias = vec![0.125; n];
         let mut consts = vec![0.0; n];
-        c.bench_function(&format!("tensor/fused_affine_into_{n}"), |bench| {
+        c.bench_function(format!("tensor/fused_affine_into_{n}"), |bench| {
             bench.iter(|| {
                 consts.iter_mut().for_each(|v| *v = 0.0);
                 a.fused_affine_into(black_box(&b), &bias, &mut consts, &mut out);

@@ -346,8 +346,8 @@ impl Matrix {
             for i in 0..self.rows {
                 let arow = self.row(i);
                 let orow = &mut out.data[i * n..(i + 1) * n];
-                for j in jb..je {
-                    orow[j] = crate::vecops::dot(arow, rhs_t.row(j));
+                for (j, o) in orow.iter_mut().enumerate().take(je).skip(jb) {
+                    *o = crate::vecops::dot(arow, rhs_t.row(j));
                 }
             }
             jb = je;
@@ -395,11 +395,11 @@ impl Matrix {
             self.rows
         );
         out.resize_zeroed(self.rows, weight.cols);
-        for i in 0..self.rows {
+        for (i, cslot) in consts.iter_mut().enumerate() {
             let mut c = 0.0;
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                c += a * bias[k];
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (k, (&a, &b)) in arow.iter().zip(bias).enumerate() {
+                c += a * b;
                 if a == 0.0 {
                     continue;
                 }
@@ -409,7 +409,7 @@ impl Matrix {
                     *o += a * w;
                 }
             }
-            consts[i] += c;
+            *cslot += c;
         }
     }
 

@@ -208,6 +208,13 @@ pub fn parse(text: &str) -> Result<Property, ParseError> {
             return Err(ParseError::IncompleteInputBox(i));
         }
     }
+    for atom in violation.iter().flatten() {
+        for &j in atom.lhs.coeffs.keys().chain(atom.rhs.coeffs.keys()) {
+            if j >= n_outputs {
+                return Err(ParseError::Unsupported(format!("undeclared output Y_{j}")));
+            }
+        }
+    }
     Ok(Property {
         input_lo: lo,
         input_hi: hi,
@@ -249,6 +256,9 @@ fn parse_assert(
             ) = (&ea, &eb)
             {
                 debug_assert_eq!(*coeff, 1.0);
+                if *i >= lo.len() {
+                    return Err(ParseError::Unsupported(format!("undeclared input X_{i}")));
+                }
                 if op == "<=" {
                     hi[*i] = hi[*i].min(*constant);
                 } else {
@@ -290,6 +300,11 @@ fn parse_conjunct(e: &Sexpr) -> Result<Vec<OutputAtom>, ParseError> {
         return Err(ParseError::Unsupported(format!("conjunct '{e}'")));
     };
     match items.as_slice() {
+        // An empty `(and)` is vacuously true, which would mark the whole
+        // input box as violated — reject it instead of mis-encoding it.
+        [Sexpr::Atom(op)] if op == "and" => {
+            Err(ParseError::Unsupported("empty conjunction '(and)'".into()))
+        }
         [Sexpr::Atom(op), rest @ ..] if op == "and" => rest.iter().map(parse_atom).collect(),
         _ => Ok(vec![parse_atom(e)?]),
     }
@@ -401,6 +416,35 @@ mod tests {
         assert!(p.is_violation(&[0.0, 1.0, 1.0])); // both beat Y_0
         assert!(!p.is_violation(&[0.0, 1.0, -1.0])); // Y_2 does not
         assert!(p.is_violation(&[-2.0, -3.0, -3.0])); // Y_0 <= -1
+    }
+
+    #[test]
+    fn undeclared_variables_error_instead_of_panicking() {
+        // Input index past the declarations must not index out of bounds.
+        let text = "(declare-const X_0 Real)\n(assert (>= X_1 0.0))";
+        assert!(matches!(parse(text), Err(ParseError::Unsupported(_))));
+        // Output index past the declarations is rejected too.
+        let text = "\
+(declare-const X_0 Real)
+(declare-const Y_0 Real)
+(assert (>= X_0 0.0))
+(assert (<= X_0 1.0))
+(assert (<= Y_0 Y_3))
+";
+        assert!(matches!(parse(text), Err(ParseError::Unsupported(_))));
+    }
+
+    #[test]
+    fn empty_conjunction_is_rejected() {
+        // `(and)` is vacuously true and would mark the whole box violated.
+        let text = "\
+(declare-const X_0 Real)
+(declare-const Y_0 Real)
+(assert (>= X_0 0.0))
+(assert (<= X_0 1.0))
+(assert (or (and)))
+";
+        assert!(matches!(parse(text), Err(ParseError::Unsupported(_))));
     }
 
     #[test]

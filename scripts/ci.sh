@@ -11,6 +11,9 @@ cargo build --release
 echo "== tier 1: tests =="
 cargo test -q
 
+echo "== lints: clippy with warnings denied =="
+cargo clippy -q --workspace --all-targets -- -D warnings
+
 echo "== smoke: experiment binaries on a 2-lane pool =="
 out2=$(mktemp -d)
 for exp in table1 table2 fig3 fig4 fig5 fig6; do
@@ -34,5 +37,16 @@ for report in "$out2"/rq1-smoke-2025.* "$out2"/table2.csv; do
     diff "$report" "$outnc/$(basename "$report")"
 done
 
-rm -rf "$out1" "$out2" "$outnc"
+echo "== soundness: fixed-seed differential fuzz smoke =="
+outfz=$(mktemp -d)
+cargo run --release -q -p abonn-bench --bin fuzz -- \
+    --seed 2025 --count 25 --out-dir "$outfz"
+
+# The LP replay over the 3072-input conv models costs minutes per
+# certificate, so CI audits the MNIST models; drop --models for the rest.
+echo "== soundness: certificate audit over the MNIST tier-1 suite =="
+cargo run --release -q -p abonn-bench --bin check -- \
+    --scale smoke --seed 2025 --out-dir "$out2" --models mnist 2>/dev/null
+
+rm -rf "$out1" "$out2" "$outnc" "$outfz"
 echo "ci: ok"

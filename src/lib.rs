@@ -15,6 +15,7 @@
 
 pub use abonn_attack as attack;
 pub use abonn_bound as bound;
+pub use abonn_check as check;
 pub use abonn_core as core;
 pub use abonn_data as data;
 pub use abonn_lp as lp;

@@ -2,7 +2,7 @@
 //! produce certificates that check with an independent verifier, and
 //! tampered certificates are rejected.
 
-use abonn_repro::bound::{AppVer, Cascade, DeepPoly, LpVerifier};
+use abonn_repro::bound::{Cascade, DeepPoly, LpVerifier};
 use abonn_repro::core::{
     AbonnVerifier, Budget, Certificate, ProofNode, RobustnessProblem, Verdict,
 };
@@ -95,7 +95,7 @@ fn tampered_certificate_is_rejected() {
         }
         // Tamper: replace the whole tree by a single leaf — the root
         // sub-problem was a false alarm by construction, so this must fail.
-        let tampered = Certificate::new(ProofNode::Leaf);
+        let tampered = Certificate::new(ProofNode::root_leaf());
         // The *weak* DeepPoly checker must reject the trivial proof.
         assert!(
             tampered.check(&problem, &DeepPoly::new()).is_err()
