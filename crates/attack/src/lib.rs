@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Gradient-based falsification: FGSM and multi-restart PGD.
 //!
 //! αβ-CROWN-class verifiers run an adversarial attack before (and during)

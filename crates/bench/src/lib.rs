@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Benchmark harness: regenerates every table and figure of the paper's
 //! evaluation (§V).
 //!
@@ -11,10 +12,12 @@
 //! | Fig. 6 (RQ3 violated/certified split)  | `fig6`     | [`experiments::fig6`] |
 //! | Ablations (extensions)                 | `ablation` | [`experiments::ablation`] |
 //!
-//! Two soundness-audit binaries ride alongside the experiment runners:
-//! `fuzz` (seeded differential fuzzing across all engines, JSON repros
-//! for minimized failures) and `check` (replay of every emitted
-//! certificate through the independent checker in `abonn-check`).
+//! Three audit binaries ride alongside the experiment runners: `fuzz`
+//! (seeded differential fuzzing across all engines, JSON repros for
+//! minimized failures), `check` (replay of every emitted certificate
+//! through the independent checker in `abonn-check`), and `lint` (the
+//! `abonn-lint` static determinism & soundness gate over the workspace
+//! sources, with `--json` findings reports).
 //!
 //! Every binary accepts `--scale {smoke,default,full}`, `--seed N`,
 //! `--out-dir PATH`, and `--fresh` (ignore cached run records). Results

@@ -8,7 +8,7 @@ use abonn_core::{
 use abonn_data::{suite, zoo::ModelKind, SuiteConfig, VerificationInstance};
 use abonn_nn::Network;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Experiment size: how many instances per model and how big the budgets
@@ -463,11 +463,16 @@ pub fn run_grid_configured(
 }
 
 /// Groups records by `(model, approach)`.
+///
+/// The groups live in a `BTreeMap` so that grouping *and* any
+/// group-order-dependent emission downstream are inherently
+/// deterministic — consumers never need to re-sort to keep persisted
+/// reports byte-identical across runs.
 #[must_use]
 pub fn group_by_model_approach(
     records: &[InstanceRecord],
-) -> HashMap<(String, String), Vec<&InstanceRecord>> {
-    let mut map: HashMap<(String, String), Vec<&InstanceRecord>> = HashMap::new();
+) -> BTreeMap<(String, String), Vec<&InstanceRecord>> {
+    let mut map: BTreeMap<(String, String), Vec<&InstanceRecord>> = BTreeMap::new();
     for r in records {
         map.entry((r.model.clone(), r.approach.clone()))
             .or_default()

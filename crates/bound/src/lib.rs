@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Approximated verifiers (`AppVer` in the paper) for ReLU networks.
 //!
 //! Branch and Bound delegates each (sub-)problem to an *approximated

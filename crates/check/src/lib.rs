@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Soundness audit subsystem: an independent certificate checker and a
 //! seeded differential fuzzing harness.
 //!

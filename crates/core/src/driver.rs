@@ -141,6 +141,16 @@ pub(crate) struct Clock {
 impl Clock {
     pub fn new(budget: Budget) -> Self {
         Self {
+            // Audit: `start` feeds only (a) the `wall_limit` check in
+            // `exhausted`, which is `None` on every suite/report path
+            // (`Scale::budget` is AppVer-call-only) and engaged solely
+            // when a caller opts in via `Budget::and_wall_limit`, and
+            // (b) `elapsed`, whose value lands in `RunStats::wall` — an
+            // in-memory field excluded from every persisted artefact
+            // (`InstanceRecord::wall_secs` is `#[serde(skip)]`). With no
+            // wall limit set, verdicts, counters, and report bytes are
+            // provably independent of this read.
+            // lint: allow(wall-clock-in-engine, only gates opt-in wall budgets and the unpersisted RunStats::wall; call-only suite budgets never read it)
             start: Instant::now(),
             budget,
             appver_calls: 0,

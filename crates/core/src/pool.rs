@@ -104,6 +104,7 @@ struct Shared {
 
 impl Shared {
     fn submit(&self, job: Arc<Job>) {
+        // lint: allow(relaxed-atomics, monotonic round-robin counter; only spreads jobs across queues and work-stealing makes any placement correct, so no ordering is needed)
         let i = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
         self.queues[i]
             .lock()
@@ -255,9 +256,18 @@ impl WorkerPool {
                     let r = f(item);
                     *slots[i].lock().expect("map slot lock") = Some(r);
                 });
-                // SAFETY: the loop below claims-or-awaits every job before
-                // `map` returns (even on panic), so the borrows of `f` and
-                // `slots` captured in `body` outlive every execution.
+                // SAFETY: this erases the closure's borrow lifetime to
+                // `'static` so it can cross the queue (`TaskBody` must be
+                // nameable without the caller's lifetime). The borrows of
+                // `f` and `slots` stay valid because `map` never returns
+                // — not even by unwinding — before every job has settled:
+                // the `run_or_wait` loop below claims each unstarted body
+                // and runs it inline, or blocks until the worker that
+                // claimed it signals `done`. A worker can therefore never
+                // hold a body after `map`'s stack frame (and the borrows
+                // it anchors) is gone. Layout is unchanged: both types
+                // are `Box<dyn FnOnce() + Send>` differing only in
+                // lifetime, which has no runtime representation.
                 let body: TaskBody = unsafe { std::mem::transmute(body) };
                 Arc::new(Job::new(body))
             })
@@ -311,9 +321,16 @@ impl WorkerPool {
             let body: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 *slot.lock().expect("join2 slot lock") = Some(fa());
             });
-            // SAFETY: `run_or_wait` below settles the job before `join2`
-            // returns — on every path, including a panic in `fb` — so the
-            // borrow of `slot_a` captured in `body` cannot dangle.
+            // SAFETY: same lifetime erasure as in `map` (see above), with
+            // the same settlement guarantee: `fb` runs under
+            // `catch_unwind`, so control always reaches the
+            // `run_or_wait` call below, which either executes the body on
+            // this thread or waits for the claiming worker's `done`
+            // signal. Only after that can `join2` return or unwind, so
+            // the borrow of `slot_a` captured in `body` outlives every
+            // possible execution of it; the transmute itself only erases
+            // a lifetime between representation-identical `Box<dyn
+            // FnOnce>` types.
             let body: TaskBody = unsafe { std::mem::transmute(body) };
             Arc::new(Job::new(body))
         };
@@ -348,8 +365,15 @@ impl Drop for WorkerPool {
 }
 
 /// The machine's available parallelism, with a fallback of one.
+///
+/// This is the single audited place where machine topology enters the
+/// system, and it only ever sizes worker pools: the parallel-grid and
+/// thread-invariance tests prove verdicts, stats, and report bytes are
+/// identical for every lane count, so the value cannot leak into
+/// results.
 #[must_use]
 pub fn default_threads() -> usize {
+    // lint: allow(nondeterministic-api, sizes pools only; verdicts/stats/reports are proven lane-count-invariant by the determinism test suite)
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
@@ -421,12 +445,14 @@ mod tests {
         // Slow-ish tasks so workers get a chance to steal some.
         pool.map((0..64).collect::<Vec<u64>>(), |_| {
             if std::thread::current().id() != caller {
+                // lint: allow(relaxed-atomics, test-only monotonic hit counter; read after map joins all tasks)
                 hits.fetch_add(1, Ordering::Relaxed);
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
         });
         // With 3 workers and 64 sleeping tasks at least one lands off the
         // caller (single-core machines still satisfy this: workers exist).
+        // lint: allow(relaxed-atomics, test-only read of the counter above; map already joined every task so the value is final)
         assert!(hits.load(Ordering::Relaxed) > 0, "no worker ever ran a task");
     }
 }

@@ -115,6 +115,12 @@ impl Portfolio {
 
 impl Verifier for Portfolio {
     fn verify(&self, problem: &RobustnessProblem, budget: &Budget) -> RunResult {
+        // Audit: `start` slices the caller's *opt-in* `wall_limit` across
+        // stages (suite/report budgets are call-only, so that branch never
+        // runs there) and fills `RunStats::wall`, which is in-memory only
+        // and excluded from persisted reports. Stage order, call
+        // accounting, and verdicts are pure functions of the call budget.
+        // lint: allow(wall-clock-in-engine, slices opt-in wall budgets and fills the unpersisted RunStats::wall; call-only budgets make verdicts time-independent)
         let start = Instant::now();
         let mut remaining_calls = budget.max_appver_calls;
         let mut total = RunStats::default();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Datasets, models, and verification instances for the ABONN benchmark.
 //!
 //! The paper evaluates on 552 local-robustness problems over five networks

@@ -1,0 +1,153 @@
+//! Deterministic renderings of a [`LintReport`](crate::LintReport):
+//! a human-readable listing and a machine-readable JSON document.
+//!
+//! The JSON is hand-rolled on purpose — the lint must not depend on the
+//! serde shims it audits — and both renderings consume the report's
+//! already-sorted vectors, so output bytes are stable across runs.
+
+use crate::LintReport;
+use std::fmt::Write as _;
+
+/// Renders the report for terminals: one `path:line: [rule] message`
+/// per finding, then a summary line.
+#[must_use]
+pub fn human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    if !report.findings.is_empty() {
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "abonn-lint: {} finding(s), {} suppression(s) in {} file(s)",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.files_scanned
+    );
+    out
+}
+
+/// Renders the report as a JSON document:
+///
+/// ```json
+/// {"files_scanned":N,"active":N,"suppressed":N,
+///  "findings":[{"rule":"...","path":"...","line":N,"message":"..."}],
+///  "suppressions":[{"rule":"...","path":"...","line":N,"reason":"..."}]}
+/// ```
+#[must_use]
+pub fn json(report: &LintReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"files_scanned\":{},\"active\":{},\"suppressed\":{},\"findings\":[",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            escape(&f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        );
+    }
+    out.push_str("],\"suppressions\":[");
+    for (i, s) in report.suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"reason\":{}}}",
+            escape(&s.rule),
+            escape(&s.path),
+            s.line,
+            escape(&s.reason)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+    use crate::Suppression;
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                rule: "unordered-iteration".to_string(),
+                path: "crates/bench/src/x.rs".to_string(),
+                line: 7,
+                message: "say \"no\" to HashMap".to_string(),
+            }],
+            suppressed: vec![Suppression {
+                rule: "relaxed-atomics".to_string(),
+                path: "crates/core/src/pool.rs".to_string(),
+                line: 3,
+                reason: "monotonic counter".to_string(),
+            }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn human_lists_findings_and_summary() {
+        let text = human(&sample());
+        assert!(text.contains("crates/bench/src/x.rs:7: [unordered-iteration]"));
+        assert!(text.contains("1 finding(s), 1 suppression(s) in 2 file(s)"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let text = json(&sample());
+        assert!(text.starts_with("{\"files_scanned\":2,\"active\":1,\"suppressed\":1,"));
+        assert!(text.contains("\\\"no\\\""), "quotes must be escaped: {text}");
+        assert!(text.ends_with("]}"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = text.matches('{').count() + text.matches('[').count();
+        let closes = text.matches('}').count() + text.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_report_renders_cleanly() {
+        let empty = LintReport::default();
+        assert!(human(&empty).contains("0 finding(s)"));
+        assert_eq!(
+            json(&empty),
+            "{\"files_scanned\":0,\"active\":0,\"suppressed\":0,\"findings\":[],\"suppressions\":[]}"
+        );
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A dense, bounded-variable, two-phase simplex LP solver.
 //!
 //! The ABONN paper's evaluation uses GUROBI as the underlying solver for

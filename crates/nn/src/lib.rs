@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Feed-forward neural networks for the ABONN reproduction.
 //!
 //! The paper verifies fully-connected and convolutional ReLU classifiers

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Dense linear-algebra substrate for the ABONN reproduction.
 //!
 //! The verification stack (bound propagation, LP solving, neural-network

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Parser and writer for the VNN-LIB property subset used by
 //! local-robustness benchmarks.
 //!

@@ -11,6 +11,14 @@ cargo build --release
 echo "== tier 1: tests =="
 cargo test -q
 
+echo "== lints: abonn-lint determinism & soundness gate =="
+# Hard gate: exits non-zero on any active finding. The JSON findings
+# report is kept as a build artefact for trend tracking across PRs.
+cargo run --release -q -p abonn-bench --bin lint
+mkdir -p target/experiments
+cargo run --release -q -p abonn-bench --bin lint -- --json \
+    > target/experiments/lint-findings.json
+
 echo "== lints: clippy with warnings denied =="
 cargo clippy -q --workspace --all-targets -- -D warnings
 

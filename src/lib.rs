@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate for the ABONN reproduction workspace.
 //!
 //! Re-exports every member crate under one roof so the top-level `examples/`
