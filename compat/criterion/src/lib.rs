@@ -113,9 +113,39 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(measure: bool, name: &str, mut f: F) {
         if b.elapsed >= target || iters >= 1 << 24 {
             let per_iter = b.elapsed.as_nanos() / u128::from(iters.max(1));
             println!("bench {name:<50} {:>12} ns/iter ({iters} iterations)", per_iter);
+            append_json_record(name, per_iter, iters);
             return;
         }
         iters = iters.saturating_mul(2);
+    }
+}
+
+/// Appends one JSON line per measured benchmark to the file named by the
+/// `ABONN_BENCH_JSON` environment variable; a no-op when the variable is
+/// unset or empty. The record layout is stable so scripts can archive and
+/// diff bench runs: `{"bench":NAME,"ns_per_iter":N,"iters":N}`.
+fn append_json_record(name: &str, ns_per_iter: u128, iters: u64) {
+    let Ok(path) = std::env::var("ABONN_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut escaped = String::with_capacity(name.len());
+    for ch in name.chars() {
+        match ch {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(
+            file,
+            "{{\"bench\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter},\"iters\":{iters}}}"
+        );
     }
 }
 
@@ -158,5 +188,17 @@ mod tests {
         let mut total = 0u64;
         run_benchmark(true, "unit/measure", |b| b.iter(|| total += 1));
         assert!(total > 1, "measurement should re-run the routine");
+    }
+
+    #[test]
+    fn json_records_escape_and_roundtrip() {
+        let path = std::env::temp_dir().join("abonn-criterion-shim-json-test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("ABONN_BENCH_JSON", &path);
+        append_json_record("unit/\"quoted\"", 1234, 8);
+        std::env::remove_var("ABONN_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("{\"bench\":\"unit/\\\"quoted\\\"\",\"ns_per_iter\":1234,\"iters\":8}"));
     }
 }

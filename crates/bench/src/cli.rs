@@ -22,6 +22,10 @@ pub struct Args {
     /// `--no-bound-cache` disables it for A/B equivalence checks. Reports
     /// are byte-identical regardless of this value.
     pub bound_cache: bool,
+    /// LP warm starting (simplex basis reuse in the exact leaf solver). On
+    /// by default; `--no-warm-start` disables it for A/B equivalence
+    /// checks. Reports are byte-identical regardless of this value.
+    pub warm_start: bool,
 }
 
 impl Default for Args {
@@ -33,6 +37,7 @@ impl Default for Args {
             fresh: false,
             threads: abonn_core::pool::default_threads(),
             bound_cache: true,
+            warm_start: true,
         }
     }
 }
@@ -71,10 +76,11 @@ impl Args {
                     }
                 }
                 "--no-bound-cache" => args.bound_cache = false,
+                "--no-warm-start" => args.warm_start = false,
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--scale smoke|default|full] [--seed N] [--out-dir DIR] \
-                         [--fresh] [--threads N] [--no-bound-cache]"
+                         [--fresh] [--threads N] [--no-bound-cache] [--no-warm-start]"
                             .into(),
                     )
                 }
@@ -115,12 +121,21 @@ mod tests {
         assert!(!a.fresh);
         assert!(a.threads >= 1, "default pool must have at least one lane");
         assert!(a.bound_cache, "incremental bounding defaults to on");
+        assert!(a.warm_start, "LP warm starting defaults to on");
     }
 
     #[test]
     fn no_bound_cache_flag_disables_caching() {
         let a = parse(&["--no-bound-cache"]).unwrap();
         assert!(!a.bound_cache);
+        assert!(a.warm_start, "bound-cache flag must not affect warm start");
+    }
+
+    #[test]
+    fn no_warm_start_flag_disables_warm_starting() {
+        let a = parse(&["--no-warm-start"]).unwrap();
+        assert!(!a.warm_start);
+        assert!(a.bound_cache, "warm-start flag must not affect bound cache");
     }
 
     #[test]

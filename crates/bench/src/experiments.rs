@@ -88,6 +88,7 @@ pub fn rq1_records(args: &Args) -> Vec<InstanceRecord> {
         &args.scale.budget(),
         &pool,
         args.bound_cache,
+        args.warm_start,
     );
     save_records(&cache, &records).expect("persist rq1 records");
     records
@@ -330,6 +331,7 @@ pub fn fig5(args: &Args) -> String {
                         &budget,
                         &pool,
                         args.bound_cache,
+                        args.warm_start,
                     )
                 });
                 let mut solved = 0usize;

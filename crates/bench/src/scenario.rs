@@ -147,22 +147,29 @@ impl Approach {
     /// sequential by design and ignores the pool.
     #[must_use]
     pub fn build_with_pool(&self, pool: Arc<WorkerPool>) -> Box<dyn Verifier> {
-        self.build_configured(pool, true)
+        self.build_configured(pool, true, true)
     }
 
     /// Like [`Approach::build_with_pool`], additionally choosing whether
     /// the searches thread parent bound prefixes into child nodes
-    /// (`bound_cache`). Verdicts and persisted records are bit-for-bit
-    /// identical either way — caching only changes how much bounding work
-    /// is executed.
+    /// (`bound_cache`) and whether the exact-LP leaf solver reuses simplex
+    /// bases (`warm_start`). Verdicts and persisted records are bit-for-bit
+    /// identical either way — both switches only change how much bounding
+    /// work is executed.
     #[must_use]
-    pub fn build_configured(&self, pool: Arc<WorkerPool>, bound_cache: bool) -> Box<dyn Verifier> {
+    pub fn build_configured(
+        &self,
+        pool: Arc<WorkerPool>,
+        bound_cache: bool,
+        warm_start: bool,
+    ) -> Box<dyn Verifier> {
         let planet = || std::sync::Arc::new(abonn_bound::DeepPoly::planet());
         match self {
             Approach::BabBaseline => {
                 let mut bab =
                     BabBaseline::new(abonn_core::heuristics::HeuristicKind::DeepSplit, planet());
                 bab.incremental = bound_cache;
+                bab.warm_start = warm_start;
                 Box::new(bab.with_pool(pool))
             }
             Approach::CrownStyle => Box::new(CrownStyle::default()),
@@ -172,6 +179,7 @@ impl Approach {
                         lambda: *lambda,
                         c: *c,
                         incremental: bound_cache,
+                        warm_start,
                         ..AbonnConfig::default()
                     },
                     planet(),
@@ -372,12 +380,12 @@ pub fn run_instance_pooled(
     budget: &Budget,
     pool: &Arc<WorkerPool>,
 ) -> InstanceRecord {
-    run_instance_configured(prepared, instance, approach, budget, pool, true)
+    run_instance_configured(prepared, instance, approach, budget, pool, true, true)
 }
 
 /// Like [`run_instance_pooled`], additionally choosing whether incremental
-/// bound caching is used (`bound_cache`); the record is identical either
-/// way.
+/// bound caching (`bound_cache`) and LP warm starting (`warm_start`) are
+/// used; the record is identical either way.
 ///
 /// # Panics
 ///
@@ -390,6 +398,7 @@ pub fn run_instance_configured(
     budget: &Budget,
     pool: &Arc<WorkerPool>,
     bound_cache: bool,
+    warm_start: bool,
 ) -> InstanceRecord {
     let problem = RobustnessProblem::new(
         &prepared.network,
@@ -398,7 +407,7 @@ pub fn run_instance_configured(
         instance.epsilon,
     )
     .expect("suite instances are valid specifications");
-    let verifier = approach.build_configured(Arc::clone(pool), bound_cache);
+    let verifier = approach.build_configured(Arc::clone(pool), bound_cache, warm_start);
     let result = verifier.verify(&problem, budget);
     InstanceRecord {
         model: prepared.kind.paper_name().to_string(),
@@ -429,11 +438,12 @@ pub fn run_grid(
     budget: &Budget,
     pool: &Arc<WorkerPool>,
 ) -> Vec<InstanceRecord> {
-    run_grid_configured(models, approaches, budget, pool, true)
+    run_grid_configured(models, approaches, budget, pool, true, true)
 }
 
 /// Like [`run_grid`], additionally choosing whether incremental bound
-/// caching is used (`bound_cache`); the records are identical either way.
+/// caching (`bound_cache`) and LP warm starting (`warm_start`) are used;
+/// the records are identical either way.
 #[must_use]
 pub fn run_grid_configured(
     models: &[PreparedModel],
@@ -441,6 +451,7 @@ pub fn run_grid_configured(
     budget: &Budget,
     pool: &Arc<WorkerPool>,
     bound_cache: bool,
+    warm_start: bool,
 ) -> Vec<InstanceRecord> {
     let mut tasks = Vec::new();
     for prepared in models {
@@ -458,7 +469,7 @@ pub fn run_grid_configured(
         }
     }
     pool.map(tasks, |(prepared, approach, instance)| {
-        run_instance_configured(prepared, instance, approach, budget, pool, bound_cache)
+        run_instance_configured(prepared, instance, approach, budget, pool, bound_cache, warm_start)
     })
 }
 

@@ -1,0 +1,85 @@
+//! Acceptance check for the warm-started-LP + stable-neuron-masking
+//! optimisations on an MNIST suite slice.
+//!
+//! Drives the BaB baseline with the exact triangle-LP relaxation as its
+//! `AppVer` on calibrated MNIST instances, once with warm starting and
+//! once cold, and asserts — on call-based counters only, never wall
+//! time — that:
+//!
+//! * verdicts and search shape are identical (warm starting is a pure
+//!   work optimisation),
+//! * warm starting cuts total simplex pivots by at least 40%,
+//! * stable-neuron masking skips at least 30% of back-substitution rows.
+
+use abonn_bench::scenario::prepare_model;
+use abonn_bound::LpVerifier;
+use abonn_core::heuristics::HeuristicKind;
+use abonn_core::{BabBaseline, Budget, RobustnessProblem, RunResult, Verifier, WorkerPool};
+use abonn_data::zoo::ModelKind;
+use std::sync::Arc;
+
+fn run_lp_bab(warm: bool, problem: &RobustnessProblem, budget: &Budget) -> RunResult {
+    let lp = LpVerifier::new().with_warm_start(warm);
+    let mut bab = BabBaseline::new(HeuristicKind::DeepSplit, Arc::new(lp));
+    bab.warm_start = warm;
+    bab.with_pool(Arc::new(WorkerPool::new(1))).verify(problem, budget)
+}
+
+#[test]
+fn warm_start_cuts_pivots_and_masking_skips_rows_on_mnist() {
+    let prepared = prepare_model(ModelKind::MnistL2, 2, 2025);
+    let budget = Budget::with_appver_calls(10);
+
+    let mut warm_pivots = 0usize;
+    let mut cold_pivots = 0usize;
+    let mut warm_hits = 0usize;
+    let mut rows_skipped = 0usize;
+    let mut rows_total = 0usize;
+    for instance in &prepared.instances {
+        let problem = RobustnessProblem::new(
+            &prepared.network,
+            instance.input.clone(),
+            instance.label,
+            instance.epsilon,
+        )
+        .expect("suite instances are valid specifications");
+        let warm = run_lp_bab(true, &problem, &budget);
+        let cold = run_lp_bab(false, &problem, &budget);
+
+        // Warm starting must not change what the search does — only how
+        // much simplex work each LP solve needs.
+        assert_eq!(warm.verdict, cold.verdict, "warm starting changed the verdict");
+        assert_eq!(warm.stats.appver_calls, cold.stats.appver_calls);
+        assert_eq!(warm.stats.nodes_visited, cold.stats.nodes_visited);
+        assert_eq!(warm.stats.tree_size, cold.stats.tree_size);
+        assert_eq!(warm.stats.max_depth, cold.stats.max_depth);
+        assert_eq!(
+            warm.stats.backsub_rows_skipped,
+            cold.stats.backsub_rows_skipped,
+            "masking is independent of warm starting"
+        );
+
+        warm_pivots += warm.stats.lp_pivots;
+        cold_pivots += cold.stats.lp_pivots;
+        warm_hits += warm.stats.lp_warm_hits;
+        assert_eq!(cold.stats.lp_warm_hits, 0, "cold runs must never warm-start");
+        rows_skipped += warm.stats.backsub_rows_skipped;
+        rows_total += warm.stats.backsub_rows_total;
+    }
+
+    eprintln!(
+        "mnist lp slice: {cold_pivots} cold pivots vs {warm_pivots} warm \
+         ({warm_hits} warm hits), {rows_skipped}/{rows_total} backsub rows skipped"
+    );
+    assert!(warm_hits > 0, "no LP solve was warm-started");
+    assert!(cold_pivots > 0, "suite slice exercised no LP solves");
+    assert!(
+        warm_pivots * 10 <= cold_pivots * 6,
+        "expected >= 40% pivot reduction, got {warm_pivots} warm vs {cold_pivots} cold"
+    );
+    assert!(
+        rows_skipped * 10 >= rows_total * 3,
+        "expected >= 30% of back-substitution rows skipped, \
+         got {rows_skipped}/{rows_total}"
+    );
+}

@@ -1,0 +1,101 @@
+//! Triangle-LP verifier benchmarks: warm-started vs cold solves down a
+//! split chain.
+//!
+//! Bounds a depth-3 chain of deep splits with [`LpVerifier`] two ways —
+//! warm starting each node's simplex solves from the parent's terminal
+//! basis (prefix threading on), and solving every LP from scratch — and
+//! reports both wall time and the machine-independent pivot counters
+//! (`BoundComputeStats::lp_pivots`). Run with
+//! `cargo bench -p abonn-bound`; under `cargo test` each routine runs
+//! once as a smoke check.
+
+use abonn_bound::{AppVer, BoundComputeStats, InputBox, LpVerifier, SplitSet, SplitSign};
+use abonn_nn::{AffinePair, CanonicalNetwork};
+use abonn_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_net(seed: u64, dims: &[usize]) -> CanonicalNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut layers = Vec::new();
+    for w in dims.windows(2) {
+        let m = Matrix::from_fn(w[1], w[0], |_, _| rng.gen_range(-1.0..1.0));
+        let b: Vec<f64> = (0..w[1]).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        layers.push(AffinePair::new(m, b));
+    }
+    CanonicalNetwork::from_affine_pairs(dims[0], layers)
+}
+
+/// A depth-3 chain of splits on the deepest splittable layer.
+fn deep_chain(lp: &LpVerifier, net: &CanonicalNetwork, region: &InputBox) -> Vec<SplitSet> {
+    let root = lp.analyze_cached(net, region, &SplitSet::new(), None);
+    let unstable = root.analysis.unstable_neurons(&SplitSet::new());
+    let deepest = unstable.iter().map(|n| n.layer).max().expect("unstable");
+    let mut splits = SplitSet::new();
+    let mut chain = Vec::new();
+    for neuron in unstable.into_iter().filter(|n| n.layer == deepest).take(3) {
+        splits = splits.with(neuron, SplitSign::Pos);
+        chain.push(splits.clone());
+    }
+    chain
+}
+
+/// Runs root + chain with prefix threading, absorbing every node's stats.
+fn run_chain(
+    lp: &LpVerifier,
+    net: &CanonicalNetwork,
+    region: &InputBox,
+    chain: &[SplitSet],
+) -> (f64, BoundComputeStats) {
+    let mut stats = BoundComputeStats::default();
+    let root = lp.analyze_cached(net, region, &SplitSet::new(), None);
+    stats.absorb(&root.stats);
+    let mut acc = root.analysis.p_hat;
+    let mut parent = root.prefix;
+    for splits in chain {
+        let node = lp.analyze_cached(net, region, splits, parent.as_ref());
+        stats.absorb(&node.stats);
+        acc += node.analysis.p_hat;
+        parent = node.prefix;
+    }
+    (acc, stats)
+}
+
+fn bench_triangle_chain(c: &mut Criterion) {
+    let dims = [3, 8, 8, 2];
+    let net = random_net(5, &dims);
+    let region = InputBox::new(vec![-0.5; 3], vec![0.5; 3]);
+    let warm_lp = LpVerifier::new();
+    let cold_lp = LpVerifier::new().with_warm_start(false);
+    let chain = deep_chain(&warm_lp, &net, &region);
+
+    // Report the exact pivot counters once, outside the timed loops.
+    let (warm_acc, warm_stats) = run_chain(&warm_lp, &net, &region, &chain);
+    let (cold_acc, cold_stats) = run_chain(&cold_lp, &net, &region, &chain);
+    assert_eq!(
+        warm_acc.to_bits(),
+        cold_acc.to_bits(),
+        "warm starting changed a bound"
+    );
+    println!(
+        "triangle chain depth {}: {} pivots cold ({} solves), {} pivots warm ({} warmed / {} cold solves)",
+        chain.len(),
+        cold_stats.lp_pivots,
+        cold_stats.lp_cold_solves,
+        warm_stats.lp_pivots,
+        warm_stats.lp_warm_hits,
+        warm_stats.lp_cold_solves,
+    );
+
+    c.bench_function("bound/triangle_chain_cold", |bench| {
+        bench.iter(|| black_box(run_chain(&cold_lp, &net, &region, black_box(&chain)).0))
+    });
+    c.bench_function("bound/triangle_chain_warm", |bench| {
+        bench.iter(|| black_box(run_chain(&warm_lp, &net, &region, black_box(&chain)).0))
+    });
+}
+
+criterion_group!(benches, bench_triangle_chain);
+criterion_main!(benches);

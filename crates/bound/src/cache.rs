@@ -13,6 +13,7 @@
 use crate::deeppoly::RelaxMode;
 use crate::relax::ReluRelaxation;
 use crate::types::{Analysis, LayerBounds, SplitSet};
+use abonn_lp::{Problem, WarmStart};
 use abonn_tensor::Matrix;
 use std::sync::Arc;
 
@@ -35,6 +36,22 @@ pub struct BoundPrefix {
     pub(crate) relax: Vec<Vec<ReluRelaxation>>,
     /// Linear lower-bound coefficients of the output stage over the input.
     pub(crate) output_lower_coeffs: Matrix,
+    /// LP solver state for warm-starting child triangle LPs; `None` when
+    /// the pass was not produced by the LP verifier.
+    pub(crate) lp: Option<LpPrefix>,
+}
+
+/// Reusable simplex state produced by one [`LpVerifier`](crate::LpVerifier)
+/// node solve: the split-independent constraint skeleton (shared tree-wide
+/// via `Arc`) plus the terminal basis of the node's last output-row LP.
+#[derive(Debug, Clone)]
+pub(crate) struct LpPrefix {
+    /// Affine-row skeleton of the triangle LP: identical for every node of
+    /// a given network, so one allocation serves the whole BaB tree.
+    pub(crate) skeleton: Arc<Problem>,
+    /// Terminal optimal basis of the parent's last solved output-row LP;
+    /// seeds the child's first solve.
+    pub(crate) warm: Option<WarmStart>,
 }
 
 impl BoundPrefix {
@@ -64,6 +81,19 @@ pub struct BoundComputeStats {
     /// Total back-substitution layer-steps executed (recomputing stage `k`
     /// costs `k` steps); the paper-level cost model for bounding work.
     pub backsub_steps: usize,
+    /// Simplex basis changes across all LP solves (phases 1 + 2; bound
+    /// flips excluded).
+    pub lp_pivots: usize,
+    /// LP solves that successfully installed a warm-start basis.
+    pub lp_warm_hits: usize,
+    /// LP solves run cold (no donor basis, or warm install fell back).
+    pub lp_cold_solves: usize,
+    /// Back-substitution rows skipped because the neuron's relaxation was
+    /// identically zero (naturally inactive or split-fixed inactive).
+    pub backsub_rows_skipped: usize,
+    /// Total back-substitution rows considered (denominator for the
+    /// skipped-row ratio).
+    pub backsub_rows_total: usize,
 }
 
 impl BoundComputeStats {
@@ -72,6 +102,11 @@ impl BoundComputeStats {
         self.layers_reused += other.layers_reused;
         self.layers_recomputed += other.layers_recomputed;
         self.backsub_steps += other.backsub_steps;
+        self.lp_pivots += other.lp_pivots;
+        self.lp_warm_hits += other.lp_warm_hits;
+        self.lp_cold_solves += other.lp_cold_solves;
+        self.backsub_rows_skipped += other.backsub_rows_skipped;
+        self.backsub_rows_total += other.backsub_rows_total;
     }
 }
 

@@ -163,7 +163,7 @@ pub(crate) fn compute_bounds_engine(
     for k in start..num_layers {
         stats.layers_recomputed += 1;
         stats.backsub_steps += k;
-        let (lo_const, hi_const) = back_substitute(net, k, &relaxations, &mut scratch);
+        let (lo_const, hi_const) = back_substitute(net, k, &relaxations, &mut scratch, stats);
         let n = net.layers()[k].out_dim();
         let mut lo = vec![0.0; n];
         let mut hi = vec![0.0; n];
@@ -224,6 +224,7 @@ pub(crate) fn compute_bounds_engine(
             bounds: bounds.clone(),
             relax: relaxations,
             output_lower_coeffs: output_lower_coeffs.clone(),
+            lp: None,
         }))
     } else {
         None
@@ -247,6 +248,12 @@ struct BackSubScratch {
     hi_a: Matrix,
     lo_next: Matrix,
     hi_next: Matrix,
+    /// Per-neuron "relaxation is identically zero" mask for the current
+    /// substitution step (inactive or split-fixed-inactive neurons).
+    skip: Vec<bool>,
+    /// Per-neuron "relaxation is the identity" mask (active or
+    /// split-fixed-active neurons) — substitution is a no-op there.
+    ident: Vec<bool>,
 }
 
 /// Back-substitutes stage `k`'s pre-activation expressions down to the
@@ -254,15 +261,27 @@ struct BackSubScratch {
 /// constant terms are returned as `(lower_consts, upper_consts)`.
 ///
 /// Each `A ← A·W, c ← c + A·b` step runs as one fused kernel
-/// ([`Matrix::fused_affine_into`]) into a swap buffer — no per-step
+/// ([`Matrix::fused_affine_into_masked`]) into a swap buffer — no per-step
 /// allocation — with the same summation order and zero-skip as the
-/// original dot + matmul formulation, so results are bit-for-bit
-/// unchanged.
+/// original dot + matmul formulation.
+///
+/// Stable-neuron sparsity: neurons whose relaxation is identically zero
+/// (slopes and intercept all `0.0`) would only multiply everything by
+/// zero, so both the slope substitution and the fused kernel skip them
+/// outright (the kernel mask drops the stale coefficient column); neurons
+/// with the identity relaxation `(1, 1, 0)` skip the slope substitution
+/// only. Under round-to-nearest both skips are bit-for-bit identical to
+/// the dense computation: multiplying by `1.0` is exact, and the elided
+/// terms are all `±0.0` additions into accumulators that start at `+0.0`
+/// and therefore can never hold `-0.0`. As splits deepen, most neurons
+/// become stable and the effective substitution width collapses —
+/// `stats.backsub_rows_skipped` counts the elided rows.
 fn back_substitute(
     net: &CanonicalNetwork,
     k: usize,
     relaxations: &[Vec<ReluRelaxation>],
     scratch: &mut BackSubScratch,
+    stats: &mut BoundComputeStats,
 ) -> (Vec<f64>, Vec<f64>) {
     let stage = &net.layers()[k];
     scratch.lo_a.copy_from(&stage.weight);
@@ -272,17 +291,54 @@ fn back_substitute(
 
     for j in (0..k).rev() {
         let relax = &relaxations[j];
-        substitute_relu(&mut scratch.lo_a, &mut lo_c, relax, true);
-        substitute_relu(&mut scratch.hi_a, &mut hi_c, relax, false);
+        scratch.skip.clear();
+        scratch.ident.clear();
+        let mut stable = 0usize;
+        for r in relax {
+            let zero = r.lower_slope == 0.0 && r.upper_slope == 0.0 && r.upper_intercept == 0.0;
+            let ident = r.lower_slope == 1.0 && r.upper_slope == 1.0 && r.upper_intercept == 0.0;
+            scratch.skip.push(zero);
+            scratch.ident.push(ident);
+            stable += usize::from(zero || ident);
+        }
+        // One lower and one upper substitution per step; both stable
+        // kinds (zero and identity relaxation) elide their substitution
+        // row entirely.
+        stats.backsub_rows_total += 2 * relax.len();
+        stats.backsub_rows_skipped += 2 * stable;
+        substitute_relu(
+            &mut scratch.lo_a,
+            &mut lo_c,
+            relax,
+            true,
+            &scratch.skip,
+            &scratch.ident,
+        );
+        substitute_relu(
+            &mut scratch.hi_a,
+            &mut hi_c,
+            relax,
+            false,
+            &scratch.skip,
+            &scratch.ident,
+        );
         let prev = &net.layers()[j];
         // Expression over z_j = W_j a_{j-1} + b_j → over a_{j-1}.
-        scratch
-            .lo_a
-            .fused_affine_into(&prev.weight, &prev.bias, &mut lo_c, &mut scratch.lo_next);
+        scratch.lo_a.fused_affine_into_masked(
+            &prev.weight,
+            &prev.bias,
+            &mut lo_c,
+            &mut scratch.lo_next,
+            &scratch.skip,
+        );
         std::mem::swap(&mut scratch.lo_a, &mut scratch.lo_next);
-        scratch
-            .hi_a
-            .fused_affine_into(&prev.weight, &prev.bias, &mut hi_c, &mut scratch.hi_next);
+        scratch.hi_a.fused_affine_into_masked(
+            &prev.weight,
+            &prev.bias,
+            &mut hi_c,
+            &mut scratch.hi_next,
+            &scratch.skip,
+        );
         std::mem::swap(&mut scratch.hi_a, &mut scratch.hi_next);
     }
     (lo_c, hi_c)
@@ -293,12 +349,25 @@ fn back_substitute(
 ///
 /// For a *lower* bound expression, positive coefficients take the ReLU's
 /// lower linear bound and negative ones its upper bound (and vice versa
-/// for an upper bound expression).
-fn substitute_relu(a: &mut Matrix, c: &mut [f64], relax: &[ReluRelaxation], lower: bool) {
+/// for an upper bound expression). Neurons flagged in `skip` (zero
+/// relaxation; their stale coefficients are masked out of the following
+/// fused kernel) or `ident` (identity relaxation) are passed over — see
+/// [`back_substitute`] for why this is bit-exact.
+fn substitute_relu(
+    a: &mut Matrix,
+    c: &mut [f64],
+    relax: &[ReluRelaxation],
+    lower: bool,
+    skip: &[bool],
+    ident: &[bool],
+) {
     for (s, cs) in c.iter_mut().enumerate() {
         let row = a.row_mut(s);
         let mut const_add = 0.0;
-        for (coeff, r) in row.iter_mut().zip(relax) {
+        for (t, (coeff, r)) in row.iter_mut().zip(relax).enumerate() {
+            if skip[t] || ident[t] {
+                continue;
+            }
             let take_lower = (*coeff >= 0.0) == lower;
             if take_lower {
                 *coeff *= r.lower_slope;

@@ -3,16 +3,18 @@
 //! Each case is derived deterministically from `(seed, index)`, so a
 //! campaign is reproducible from its command line and a single failing
 //! case is reproducible from its JSON dump. Every case runs the MCTS
-//! search, the BaB baseline (each with bound cache on/off and on 1 and 4
-//! worker threads), and the CROWN-style baseline, then cross-checks:
+//! search, the BaB baseline (each with bound cache on/off, LP warm
+//! starting on/off, and on 1 and 4 worker threads), and the CROWN-style
+//! baseline, then cross-checks:
 //!
 //! * **Verdict agreement** — two solved runs must agree (`Timeout` is
 //!   compatible with anything).
 //! * **Witness validity** — every `Falsified` witness must falsify the
 //!   property under a concrete forward pass.
 //! * **Stats determinism** — `RunStats` must be identical across thread
-//!   counts (modulo wall time), and identical across cache settings
-//!   modulo wall time and the cache work counters.
+//!   counts (modulo wall time), identical across cache settings modulo
+//!   wall time and the cache work counters, and identical across
+//!   warm-start settings modulo wall time and the LP work counters.
 //! * **Certificate audits** — verified runs must produce certificates
 //!   that pass [`crate::audit::audit_certificate`]; timed-out runs must
 //!   produce partial certificates that pass
@@ -262,19 +264,21 @@ struct VariantRun {
 /// Runs every engine variant on the case's problem.
 fn run_variants(problem: &RobustnessProblem, budget: &Budget) -> Vec<VariantRun> {
     let planet = || Arc::new(DeepPoly::planet());
-    let abonn = |cache: bool, threads: usize| {
+    let abonn = |cache: bool, warm: bool, threads: usize| {
         AbonnVerifier::new(
             AbonnConfig {
                 incremental: cache,
+                warm_start: warm,
                 ..AbonnConfig::default()
             },
             planet(),
         )
         .with_pool(Arc::new(WorkerPool::new(threads)))
     };
-    let bab = |cache: bool, threads: usize| {
+    let bab = |cache: bool, warm: bool, threads: usize| {
         let mut b = BabBaseline::new(HeuristicKind::DeepSplit, planet());
         b.incremental = cache;
+        b.warm_start = warm;
         b.with_pool(Arc::new(WorkerPool::new(threads)))
     };
     let mut runs = Vec::new();
@@ -283,7 +287,8 @@ fn run_variants(problem: &RobustnessProblem, budget: &Budget) -> Vec<VariantRun>
         ("abonn/nocache/1t", false, 1),
         ("abonn/cache/4t", true, 4),
     ] {
-        let (result, certificate) = abonn(cache, threads).verify_with_certificate(problem, budget);
+        let (result, certificate) =
+            abonn(cache, true, threads).verify_with_certificate(problem, budget);
         runs.push(VariantRun {
             name,
             result,
@@ -295,7 +300,8 @@ fn run_variants(problem: &RobustnessProblem, budget: &Budget) -> Vec<VariantRun>
         ("bab/nocache/1t", false, 1),
         ("bab/cache/4t", true, 4),
     ] {
-        let (result, certificate) = bab(cache, threads).verify_with_certificate(problem, budget);
+        let (result, certificate) =
+            bab(cache, true, threads).verify_with_certificate(problem, budget);
         runs.push(VariantRun {
             name,
             result,
@@ -306,6 +312,20 @@ fn run_variants(problem: &RobustnessProblem, budget: &Budget) -> Vec<VariantRun>
         abonn_core::CrownStyle::default().verify_with_certificate(problem, budget);
     runs.push(VariantRun {
         name: "crown",
+        result,
+        certificate,
+    });
+    // Warm-start ablations ride at the end so the cache/thread pair
+    // indices above stay stable.
+    let (result, certificate) = abonn(true, false, 1).verify_with_certificate(problem, budget);
+    runs.push(VariantRun {
+        name: "abonn/nowarm/1t",
+        result,
+        certificate,
+    });
+    let (result, certificate) = bab(true, false, 1).verify_with_certificate(problem, budget);
+    runs.push(VariantRun {
+        name: "bab/nowarm/1t",
         result,
         certificate,
     });
@@ -322,6 +342,18 @@ fn strip_cache_counters(mut s: RunStats) -> RunStats {
     s.cache_layers_reused = 0;
     s.cache_layers_recomputed = 0;
     s.backsub_steps = 0;
+    s.backsub_rows_skipped = 0;
+    s.backsub_rows_total = 0;
+    s
+}
+
+/// Warm starting changes how many pivots each LP solve needs (and which
+/// solves are warmed), but nothing else — strip exactly those counters.
+fn strip_warm_counters(mut s: RunStats) -> RunStats {
+    s.wall = Duration::ZERO;
+    s.lp_pivots = 0;
+    s.lp_warm_hits = 0;
+    s.lp_cold_solves = 0;
     s
 }
 
@@ -427,6 +459,25 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseReport, FuzzFailure> {
             return Err(fail(
                 FailureKind::VerdictDisagreement,
                 format!("{} vs {}: bound cache changed the verdict", ra.name, rb.name),
+            ));
+        }
+    }
+    // Identical across warm-start settings modulo the LP work counters.
+    for (a, b) in [(0usize, 7usize), (3, 8)] {
+        let (ra, rb) = (&runs[a], &runs[b]);
+        if strip_warm_counters(ra.result.stats) != strip_warm_counters(rb.result.stats) {
+            return Err(fail(
+                FailureKind::StatsMismatch,
+                format!(
+                    "{} vs {}: {:?} != {:?}",
+                    ra.name, rb.name, ra.result.stats, rb.result.stats
+                ),
+            ));
+        }
+        if ra.result.verdict != rb.result.verdict {
+            return Err(fail(
+                FailureKind::VerdictDisagreement,
+                format!("{} vs {}: warm starting changed the verdict", ra.name, rb.name),
             ));
         }
     }
@@ -647,6 +698,39 @@ mod tests {
             audit_certificate(&cert.unwrap(), &problem).unwrap();
         }
         assert!(run_case(&case).is_ok());
+    }
+
+    #[test]
+    fn lp_driven_run_produces_auditable_certificates() {
+        // Drive the BaB baseline with the exact triangle-LP relaxation as
+        // its AppVer. The resulting certificates must pass the same
+        // independent audit as DeepPoly-driven ones, and warm starting
+        // must not change the verdict or the certificate bytes.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let case_net = gate_net(&mut rng).build();
+        let problem = RobustnessProblem::new(&case_net, vec![0.8, 0.2], 0, 0.28).unwrap();
+        let budget = Budget::with_appver_calls(120);
+        let run = |warm: bool| {
+            let lp = abonn_bound::LpVerifier::new().with_warm_start(warm);
+            let mut b = BabBaseline::new(HeuristicKind::DeepSplit, Arc::new(lp));
+            b.warm_start = warm;
+            b.with_pool(Arc::new(WorkerPool::new(1)))
+                .verify_with_certificate(&problem, &budget)
+        };
+        let (warm_run, warm_cert) = run(true);
+        let (cold_run, cold_cert) = run(false);
+        assert_eq!(warm_run.verdict, cold_run.verdict);
+        assert_eq!(warm_cert, cold_cert, "warm starting changed the certificate");
+        match &warm_run.verdict {
+            Verdict::Verified => {
+                audit_certificate(&warm_cert.expect("verified run has certificate"), &problem)
+                    .unwrap();
+            }
+            Verdict::Timeout => {
+                audit_partial(&warm_cert.expect("timeout run has certificate"), &problem).unwrap();
+            }
+            Verdict::Falsified(w) => assert!(problem.validate_witness(w)),
+        }
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub struct BabBaseline {
     /// Thread parent bound prefixes into child nodes (bit-for-bit
     /// identical results; disabling is for A/B checks and debugging).
     pub incremental: bool,
+    /// Warm-start the exact-LP leaf solver from previously computed simplex
+    /// bases (bit-for-bit identical results; only in-memory work counters
+    /// differ — see DESIGN.md §5f).
+    pub warm_start: bool,
     appver: Arc<dyn AppVer>,
     pool: Arc<WorkerPool>,
 }
@@ -85,6 +89,7 @@ impl Default for BabBaseline {
             heuristic: HeuristicKind::DeepSplit,
             refine_steps: 0,
             incremental: true,
+            warm_start: true,
             appver: Arc::new(DeepPoly::new()),
             pool: Arc::new(WorkerPool::inline()),
         }
@@ -108,6 +113,7 @@ impl BabBaseline {
             heuristic,
             refine_steps: 0,
             incremental: true,
+            warm_start: true,
             appver,
             pool: Arc::new(WorkerPool::inline()),
         }
@@ -169,6 +175,11 @@ impl BabBaseline {
                 cache_layers_reused: clock.bound_stats.layers_reused,
                 cache_layers_recomputed: clock.bound_stats.layers_recomputed,
                 backsub_steps: clock.bound_stats.backsub_steps,
+                lp_pivots: clock.bound_stats.lp_pivots,
+                lp_warm_hits: clock.bound_stats.lp_warm_hits,
+                lp_cold_solves: clock.bound_stats.lp_cold_solves,
+                backsub_rows_skipped: clock.bound_stats.backsub_rows_skipped,
+                backsub_rows_total: clock.bound_stats.backsub_rows_total,
                 wall: clock.elapsed(),
             },
         };
@@ -270,7 +281,9 @@ impl BabBaseline {
                     }
                     None => {
                         // Fully split: resolve exactly with the LP.
-                        if let Some(w) = resolve_exhausted_leaf(problem, splits, &mut clock) {
+                        if let Some(w) =
+                            resolve_exhausted_leaf(problem, splits, &mut clock, self.warm_start)
+                        {
                             return (
                                 finish(
                                     Verdict::Falsified(w),

@@ -87,6 +87,16 @@ pub struct RunStats {
     pub cache_layers_recomputed: usize,
     /// Back-substitution layer-steps executed (stage `k` costs `k` steps).
     pub backsub_steps: usize,
+    /// Simplex pivots across all LP solves (phases 1 + 2).
+    pub lp_pivots: usize,
+    /// LP solves that successfully installed a warm-start basis.
+    pub lp_warm_hits: usize,
+    /// LP solves run cold (no donor basis, or warm install fell back).
+    pub lp_cold_solves: usize,
+    /// Back-substitution rows skipped via stable-neuron sparsity.
+    pub backsub_rows_skipped: usize,
+    /// Total back-substitution rows considered (skip-ratio denominator).
+    pub backsub_rows_total: usize,
     /// Measured wall time.
     pub wall: Duration,
 }
@@ -96,7 +106,9 @@ impl std::fmt::Display for RunStats {
         write!(
             f,
             "{} AppVer calls, {} nodes visited, tree size {}, depth {}, \
-             {} backsub steps ({} layers reused / {} recomputed), {:.3}s",
+             {} backsub steps ({} layers reused / {} recomputed, \
+             {}/{} rows skipped), {} LP pivots ({} warm / {} cold solves), \
+             {:.3}s",
             self.appver_calls,
             self.nodes_visited,
             self.tree_size,
@@ -104,6 +116,11 @@ impl std::fmt::Display for RunStats {
             self.backsub_steps,
             self.cache_layers_reused,
             self.cache_layers_recomputed,
+            self.backsub_rows_skipped,
+            self.backsub_rows_total,
+            self.lp_pivots,
+            self.lp_warm_hits,
+            self.lp_cold_solves,
             self.wall.as_secs_f64()
         )
     }
@@ -215,10 +232,13 @@ pub(crate) fn resolve_exhausted_leaf(
     problem: &RobustnessProblem,
     splits: &SplitSet,
     clock: &mut Clock,
+    warm_start: bool,
 ) -> Option<Vec<f64>> {
-    let lp = LpVerifier::new();
+    let lp = LpVerifier::new().with_warm_start(warm_start);
     clock.appver_calls += 1;
-    let analysis = lp.analyze(problem.margin_net(), problem.region(), splits);
+    let cached = lp.analyze_cached(problem.margin_net(), problem.region(), splits, None);
+    clock.bound_stats.absorb(&cached.stats);
+    let analysis = cached.analysis;
     if analysis.verified() {
         return None;
     }
@@ -260,12 +280,20 @@ mod tests {
             cache_layers_reused: 20,
             cache_layers_recomputed: 10,
             backsub_steps: 45,
+            lp_pivots: 37,
+            lp_warm_hits: 4,
+            lp_cold_solves: 2,
+            backsub_rows_skipped: 18,
+            backsub_rows_total: 60,
             wall: Duration::from_millis(1500),
         };
         let text = stats.to_string();
         assert!(text.contains("12 AppVer calls"));
         assert!(text.contains("45 backsub steps"));
         assert!(text.contains("20 layers reused"));
+        assert!(text.contains("18/60 rows skipped"));
+        assert!(text.contains("37 LP pivots"));
+        assert!(text.contains("4 warm / 2 cold solves"));
         assert!(text.contains("1.500s"));
     }
 

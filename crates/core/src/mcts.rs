@@ -44,6 +44,10 @@ pub struct AbonnConfig {
     /// only recomputes layers below the split (results are bit-for-bit
     /// identical either way; disabling is for A/B checks and debugging).
     pub incremental: bool,
+    /// Warm-start the exact-LP leaf solver from previously computed simplex
+    /// bases (verdicts and reports are bit-for-bit identical either way;
+    /// only in-memory work counters differ — see DESIGN.md §5f).
+    pub warm_start: bool,
 }
 
 impl Default for AbonnConfig {
@@ -54,6 +58,7 @@ impl Default for AbonnConfig {
             refine_steps: 0,
             heuristic: HeuristicKind::DeepSplit,
             incremental: true,
+            warm_start: true,
         }
     }
 }
@@ -249,7 +254,12 @@ impl<'p> Search<'p> {
         };
         let Some(neuron) = self.heuristic.select(&ctx) else {
             // Every unstable ReLU on this path is split: resolve exactly.
-            if let Some(w) = resolve_exhausted_leaf(self.problem, &node_splits, &mut self.clock) {
+            if let Some(w) = resolve_exhausted_leaf(
+                self.problem,
+                &node_splits,
+                &mut self.clock,
+                self.config.warm_start,
+            ) {
                 return Some(w);
             }
             self.tree.close(cur);
@@ -371,6 +381,11 @@ impl AbonnVerifier {
             cache_layers_reused: clock.bound_stats.layers_reused,
             cache_layers_recomputed: clock.bound_stats.layers_recomputed,
             backsub_steps: clock.bound_stats.backsub_steps,
+            lp_pivots: clock.bound_stats.lp_pivots,
+            lp_warm_hits: clock.bound_stats.lp_warm_hits,
+            lp_cold_solves: clock.bound_stats.lp_cold_solves,
+            backsub_rows_skipped: clock.bound_stats.backsub_rows_skipped,
+            backsub_rows_total: clock.bound_stats.backsub_rows_total,
             wall: clock.elapsed(),
         };
         if root_analysis.verified() {

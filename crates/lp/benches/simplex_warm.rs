@@ -1,0 +1,159 @@
+//! Simplex warm-start benchmarks: cold solves vs basis-reused re-solves.
+//!
+//! Mirrors the two reuse patterns of the triangle-LP verifier: re-solving
+//! a *perturbed* problem (a child node with tightened variable bounds)
+//! from the parent's optimal basis, and sweeping several *objectives*
+//! over one fixed feasible set (one LP per output row) with the basis
+//! chained from solve to solve. Pivot counts — exact and
+//! machine-independent, unlike the timings — are printed once outside
+//! the timed loops. Run with `cargo bench -p abonn-lp`; under
+//! `cargo test` each routine runs once as a smoke check.
+
+use abonn_lp::{Problem, Relation, Sense, WarmStart};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 30;
+const M: usize = 20;
+
+/// A random feasible bounded LP: box bounds straddling zero and `Le`
+/// rows with positive slack at the origin, so the origin is always an
+/// interior feasible point and every solve terminates `Optimal`.
+fn random_problem(seed: u64) -> Problem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = Problem::new(N, Sense::Maximize);
+    let c: Vec<f64> = (0..N).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    p.set_objective(&c);
+    for j in 0..N {
+        p.set_bounds(j, rng.gen_range(-1.5..-0.5), rng.gen_range(0.5..1.5));
+    }
+    for _ in 0..M {
+        let row: Vec<f64> = (0..N).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        p.add_row(&row, Relation::Le, rng.gen_range(0.5..1.5));
+    }
+    p
+}
+
+/// A child-node style perturbation: replace every variable's box with a
+/// seed-dependent symmetric one straddling zero, preserving origin
+/// feasibility while moving most optimal-basis bounds.
+fn tightened(base: &Problem, seed: u64) -> Problem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut child = base.clone();
+    for j in 0..N {
+        let f = rng.gen_range(0.7..0.95);
+        child.set_bounds(j, -1.5 * f, 1.5 * f);
+    }
+    child
+}
+
+fn warm_of(p: &Problem) -> WarmStart {
+    p.solve()
+        .expect("bench problems are well-formed")
+        .warm
+        .expect("optimal solves carry a warm start")
+}
+
+fn bench_child_resolve(c: &mut Criterion) {
+    let base = random_problem(1);
+    let warm = warm_of(&base);
+    let children: Vec<Problem> = (0..8).map(|k| tightened(&base, 100 + k)).collect();
+
+    let cold_pivots: usize = children.iter().map(|p| p.solve().unwrap().pivots).sum();
+    let warm_pivots: usize = children
+        .iter()
+        .map(|p| p.solve_warm(&warm).unwrap().pivots)
+        .sum();
+    println!(
+        "child re-solves ({} perturbed LPs, {}x{}): {} cold pivots vs {} warm",
+        children.len(),
+        N,
+        M,
+        cold_pivots,
+        warm_pivots,
+    );
+
+    c.bench_function("lp/child_resolve_cold", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for p in &children {
+                acc += black_box(p).solve().unwrap().objective;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("lp/child_resolve_warm", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for p in &children {
+                acc += black_box(p).solve_warm(&warm).unwrap().objective;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_objective_sweep(c: &mut Criterion) {
+    let base = random_problem(2);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let objectives: Vec<Vec<f64>> = (0..6)
+        .map(|_| (0..N).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+
+    let mut scratch = base.clone();
+    let mut cold_pivots = 0usize;
+    let mut warm_pivots = 0usize;
+    let mut warm: Option<WarmStart> = None;
+    for obj in &objectives {
+        scratch.set_objective(obj);
+        cold_pivots += scratch.solve().unwrap().pivots;
+        let sol = match &warm {
+            Some(w) => scratch.solve_warm(w).unwrap(),
+            None => scratch.solve().unwrap(),
+        };
+        warm_pivots += sol.pivots;
+        warm = sol.warm;
+    }
+    println!(
+        "objective sweep ({} objectives, {}x{}): {} cold pivots vs {} chained-warm",
+        objectives.len(),
+        N,
+        M,
+        cold_pivots,
+        warm_pivots,
+    );
+
+    c.bench_function("lp/objective_sweep_cold", |bench| {
+        bench.iter(|| {
+            let mut p = base.clone();
+            let mut acc = 0.0;
+            for obj in &objectives {
+                p.set_objective(black_box(obj));
+                acc += p.solve().unwrap().objective;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("lp/objective_sweep_warm", |bench| {
+        bench.iter(|| {
+            let mut p = base.clone();
+            let mut acc = 0.0;
+            let mut warm: Option<WarmStart> = None;
+            for obj in &objectives {
+                p.set_objective(black_box(obj));
+                let sol = match &warm {
+                    Some(w) => p.solve_warm(w).unwrap(),
+                    None => p.solve().unwrap(),
+                };
+                acc += sol.objective;
+                warm = sol.warm;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_child_resolve, bench_objective_sweep);
+criterion_main!(benches);

@@ -28,4 +28,4 @@
 
 mod simplex;
 
-pub use simplex::{Problem, Relation, Sense, Solution, SolveError, Status};
+pub use simplex::{Problem, Relation, Sense, Solution, SolveError, Status, WarmStart};

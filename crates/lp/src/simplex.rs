@@ -80,6 +80,45 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Objective value at `x`, in the user's original sense.
     pub objective: f64,
+    /// Simplex pivots (basis changes) this solve performed, phases 1 and 2
+    /// combined. A call-based work counter: independent of wall time and
+    /// identical across machines.
+    pub pivots: usize,
+    /// `true` when the solve started from an installed [`WarmStart`] basis
+    /// (`false` for cold solves and for warm solves that fell back to the
+    /// two-phase path because the basis was unrecoverable).
+    pub warmed: bool,
+    /// Snapshot of the optimal basis, for warm-starting a related solve
+    /// via [`Problem::solve_warm`]. `None` unless `status` is
+    /// [`Status::Optimal`] with a basis free of artificial variables.
+    pub warm: Option<WarmStart>,
+}
+
+/// Where a nonbasic variable rests in a [`WarmStart`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rest {
+    Lower,
+    Upper,
+    Free,
+}
+
+/// An optimal simplex basis captured from a solved [`Problem`], usable to
+/// warm-start the solve of a perturbed problem with the same shape
+/// (variable count and row count).
+///
+/// The snapshot is opaque: it records which variable is basic in each row
+/// and the rest bound of every nonbasic variable, nothing tied to the
+/// numeric tableau, so it stays valid after the problem's bounds, row
+/// coefficients, or objective change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    n: usize,
+    m: usize,
+    /// Basic variable per row: structural `0..n`, slack `n..n + m`.
+    basis: Vec<usize>,
+    /// Rest side of every structural and slack variable (entries for basic
+    /// variables are placeholders).
+    rests: Vec<Rest>,
 }
 
 /// A linear program with per-variable bounds.
@@ -190,24 +229,83 @@ impl Problem {
     pub fn solve(&self) -> Result<Solution, SolveError> {
         self.validate()?;
         let mut t = Tableau::build(self);
-        match t.run()? {
-            Status::Optimal => {
-                let x = t.structural_values();
-                let mut obj = 0.0;
-                for (cj, xj) in self.objective.iter().zip(&x) {
-                    obj += cj * xj;
-                }
-                Ok(Solution {
-                    status: Status::Optimal,
-                    x,
-                    objective: obj,
-                })
+        let status = t.run()?;
+        Ok(self.extract(&t, status, false))
+    }
+
+    /// Solves the problem starting from a previously captured basis.
+    ///
+    /// The basis is installed by re-deriving the pivoted tableau from the
+    /// *current* problem data (so bound and row perturbations since the
+    /// snapshot are honoured), primal feasibility is repaired by moving any
+    /// out-of-bounds basic variable to its violated bound with an
+    /// artificial absorbing the residual, and the usual phase-1/phase-2
+    /// iteration finishes the job. When the basis is unrecoverable (shape
+    /// mismatch, duplicate or numerically singular basis columns, or an
+    /// iteration-limit stall), the solve falls back to the cold two-phase
+    /// path; the returned [`Solution::warmed`] flag records which path ran.
+    ///
+    /// A warm solve reaches the same [`Status`] and optimal objective as a
+    /// cold [`solve`](Problem::solve); because both extract the final
+    /// solution canonically from the terminal *vertex* (see
+    /// [`vertex_values`]) — not from the pivot path or even the terminal
+    /// basis — they return bit-identical solutions whenever they stop at
+    /// the same optimal vertex, degenerate or not (always the case for a
+    /// unique optimum).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Problem::solve).
+    pub fn solve_warm(&self, warm: &WarmStart) -> Result<Solution, SolveError> {
+        self.validate()?;
+        if let Some(mut t) = Tableau::build_warm(self, warm) {
+            match t.run() {
+                Ok(status) => return Ok(self.extract(&t, status, true)),
+                // A stall from a pathological warm basis is recoverable:
+                // retry from scratch below.
+                Err(SolveError::IterationLimit) => {}
+                Err(e) => return Err(e),
             }
-            status => Ok(Solution {
+        }
+        let mut t = Tableau::build(self);
+        let status = t.run()?;
+        Ok(self.extract(&t, status, false))
+    }
+
+    /// Builds the `Solution` for a finished tableau. Optimal solutions are
+    /// re-derived canonically from the terminal vertex (see
+    /// [`vertex_values`]; basis-based [`canonical_values`] as fallback) so
+    /// the result is a pure function of `(problem, vertex)` rather than of
+    /// the pivot path that found it.
+    fn extract(&self, t: &Tableau, status: Status, warmed: bool) -> Solution {
+        if status != Status::Optimal {
+            return Solution {
                 status,
                 x: vec![0.0; self.n],
                 objective: 0.0,
-            }),
+                pivots: t.pivots,
+                warmed,
+                warm: None,
+            };
+        }
+        let warm = t.warm_snapshot();
+        let canonical = vertex_values(self, &t.x)
+            .or_else(|| warm.as_ref().and_then(|w| canonical_values(self, w)));
+        let x = match &canonical {
+            Some(full) => full[..self.n].to_vec(),
+            None => t.structural_values(),
+        };
+        let mut objective = 0.0;
+        for (cj, xj) in self.objective.iter().zip(&x) {
+            objective += cj * xj;
+        }
+        Solution {
+            status: Status::Optimal,
+            x,
+            objective,
+            pivots: t.pivots,
+            warmed,
+            warm,
         }
     }
 
@@ -262,6 +360,17 @@ struct Tableau {
     n_structural: usize,
     /// First artificial variable index (artificials occupy the tail).
     first_artificial: usize,
+    /// Simplex pivots performed (basis changes; bound flips excluded).
+    pivots: usize,
+}
+
+/// Bounds of the slack variable encoding `rel` (see `Tableau::build`).
+fn slack_bounds(rel: Relation) -> (f64, f64) {
+    match rel {
+        Relation::Le => (0.0, f64::INFINITY),
+        Relation::Ge => (f64::NEG_INFINITY, 0.0),
+        Relation::Eq => (0.0, 0.0),
+    }
 }
 
 impl Tableau {
@@ -280,11 +389,7 @@ impl Tableau {
         };
         // Slack bounds encode the relation: a·x + s = b.
         for rel in &p.relations {
-            let (lo, hi) = match rel {
-                Relation::Le => (0.0, f64::INFINITY),
-                Relation::Ge => (f64::NEG_INFINITY, 0.0),
-                Relation::Eq => (0.0, 0.0),
-            };
+            let (lo, hi) = slack_bounds(*rel);
             lower.push(lo);
             upper.push(hi);
             cost.push(0.0);
@@ -396,7 +501,224 @@ impl Tableau {
             cost: cost2,
             n_structural: n,
             first_artificial,
+            pivots: 0,
         }
+    }
+
+    /// Rebuilds a tableau around a previously captured basis, honouring the
+    /// *current* problem data. Returns `None` when the basis cannot be
+    /// recovered: shape mismatch, duplicate/out-of-range basis entries, or
+    /// a numerically singular basis column.
+    fn build_warm(p: &Problem, warm: &WarmStart) -> Option<Tableau> {
+        let m = p.rows.len();
+        let n = p.n;
+        let total_known = n + m;
+        if warm.n != n || warm.m != m || warm.basis.len() != m || warm.rests.len() != total_known {
+            return None;
+        }
+        let mut is_basic = vec![false; total_known];
+        for &b in &warm.basis {
+            if b >= total_known || is_basic[b] {
+                return None;
+            }
+            is_basic[b] = true;
+        }
+
+        let mut lower = p.lower.clone();
+        let mut upper = p.upper.clone();
+        let mut cost: Vec<f64> = match p.sense {
+            Sense::Minimize => p.objective.clone(),
+            Sense::Maximize => p.objective.iter().map(|c| -c).collect(),
+        };
+        for rel in &p.relations {
+            let (lo, hi) = slack_bounds(*rel);
+            lower.push(lo);
+            upper.push(hi);
+            cost.push(0.0);
+        }
+
+        // Constraint matrix with the slack identity, plus a tracked rhs so
+        // basic values can be read off after the basis is installed.
+        let mut a: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for row in &p.rows {
+            let mut r = vec![0.0; total_known];
+            r[..n].copy_from_slice(row);
+            a.push(r);
+        }
+        for (i, r) in a.iter_mut().enumerate() {
+            r[n + i] = 1.0;
+        }
+        let mut rhs = p.rhs.clone();
+
+        // Install the basis by Gauss–Jordan elimination. Each saved basic
+        // variable is pivoted into the unassigned row where its column is
+        // largest (partial pivoting; ties take the smallest row index), so
+        // a basis that is recoverable under *some* row assignment is
+        // recovered deterministically.
+        let mut basis = vec![usize::MAX; m];
+        let mut row_taken = vec![false; m];
+        for &b in &warm.basis {
+            let mut best_row = usize::MAX;
+            let mut best = PIVOT_TOL;
+            for (i, r) in a.iter().enumerate() {
+                if !row_taken[i] && r[b].abs() > best {
+                    best = r[b].abs();
+                    best_row = i;
+                }
+            }
+            if best_row == usize::MAX {
+                return None; // singular basis column
+            }
+            let i = best_row;
+            row_taken[i] = true;
+            basis[i] = b;
+            let inv = 1.0 / a[i][b];
+            for v in &mut a[i] {
+                *v *= inv;
+            }
+            rhs[i] *= inv;
+            let pivot_row = a[i].clone();
+            let pivot_rhs = rhs[i];
+            for (i2, r) in a.iter_mut().enumerate() {
+                if i2 == i {
+                    continue;
+                }
+                let factor = r[b];
+                if factor == 0.0 {
+                    continue;
+                }
+                for (v, &q) in r.iter_mut().zip(&pivot_row) {
+                    *v -= factor * q;
+                }
+                rhs[i2] -= factor * pivot_rhs;
+            }
+        }
+
+        // Nonbasic variables rest where the snapshot recorded them, demoted
+        // to a still-finite bound (or to free-at-zero) when the recorded
+        // side is no longer finite after a perturbation.
+        let mut state = vec![VarState::AtLower; total_known];
+        let mut x = vec![0.0; total_known];
+        for j in 0..total_known {
+            if is_basic[j] {
+                continue;
+            }
+            state[j] = match warm.rests[j] {
+                Rest::Lower if lower[j].is_finite() => VarState::AtLower,
+                Rest::Upper if upper[j].is_finite() => VarState::AtUpper,
+                Rest::Lower if upper[j].is_finite() => VarState::AtUpper,
+                Rest::Upper if lower[j].is_finite() => VarState::AtLower,
+                _ => VarState::FreeZero,
+            };
+            x[j] = match state[j] {
+                VarState::AtLower => lower[j],
+                VarState::AtUpper => upper[j],
+                _ => 0.0,
+            };
+        }
+        // Basic values from the transformed rows: basic columns are unit
+        // columns, so row `i` reads `x[basis[i]] + Σ_nonbasic a·x = rhs`.
+        #[allow(clippy::needless_range_loop)] // `i` indexes basis/a/rhs in lockstep
+        for i in 0..m {
+            let b = basis[i];
+            let mut dot = 0.0;
+            for (j, &xj) in x.iter().enumerate() {
+                if j != b {
+                    dot += a[i][j] * xj;
+                }
+            }
+            x[b] = rhs[i] - dot;
+            state[b] = VarState::Basic(i);
+        }
+
+        // Primal-feasibility repair: a basic variable pushed outside its
+        // bounds by the perturbation is snapped to the violated bound and
+        // an artificial absorbs the residual, exactly as in `build`; the
+        // phase-1 run then repairs only these rows instead of starting the
+        // whole basis from scratch.
+        let mut artificial_rows: Vec<(usize, f64)> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // `i` indexes basis in lockstep with rows
+        for i in 0..m {
+            let b = basis[i];
+            let viol_low = lower[b].is_finite() && x[b] < lower[b] - FEAS_TOL;
+            let viol_high = upper[b].is_finite() && x[b] > upper[b] + FEAS_TOL;
+            if !viol_low && !viol_high {
+                continue;
+            }
+            let bound = if viol_low { lower[b] } else { upper[b] };
+            let rest = x[b] - bound;
+            x[b] = bound;
+            state[b] = if viol_low {
+                VarState::AtLower
+            } else {
+                VarState::AtUpper
+            };
+            artificial_rows.push((i, rest));
+        }
+
+        let first_artificial = total_known;
+        let total = total_known + artificial_rows.len();
+        for r in &mut a {
+            r.resize(total, 0.0);
+        }
+        lower.resize(total, 0.0);
+        upper.resize(total, f64::INFINITY);
+        x.resize(total, 0.0);
+        state.resize(total, VarState::AtLower);
+        cost.resize(total, 0.0);
+        for (k, &(row, rest)) in artificial_rows.iter().enumerate() {
+            let aj = first_artificial + k;
+            if rest < 0.0 {
+                for v in &mut a[row] {
+                    *v = -*v;
+                }
+                rhs[row] = -rhs[row];
+            }
+            a[row][aj] = 1.0;
+            x[aj] = rest.abs();
+            state[aj] = VarState::Basic(row);
+            basis[row] = aj;
+        }
+
+        Some(Tableau {
+            a,
+            x,
+            lower,
+            upper,
+            state,
+            basis,
+            cost,
+            n_structural: n,
+            first_artificial,
+            pivots: 0,
+        })
+    }
+
+    /// Captures the current basis as a [`WarmStart`], or `None` while an
+    /// artificial variable is still basic (degenerate phase-1 leftovers).
+    fn warm_snapshot(&self) -> Option<WarmStart> {
+        let m = self.a.len();
+        let mut basis = Vec::with_capacity(m);
+        for &b in &self.basis {
+            if b >= self.first_artificial {
+                return None;
+            }
+            basis.push(b);
+        }
+        let mut rests = Vec::with_capacity(self.first_artificial);
+        for j in 0..self.first_artificial {
+            rests.push(match self.state[j] {
+                VarState::AtUpper => Rest::Upper,
+                VarState::FreeZero => Rest::Free,
+                VarState::AtLower | VarState::Basic(_) => Rest::Lower,
+            });
+        }
+        Some(WarmStart {
+            n: self.n_structural,
+            m,
+            basis,
+            rests,
+        })
     }
 
     fn total_vars(&self) -> usize {
@@ -582,6 +904,7 @@ impl Tableau {
     /// Pivots `enter` into the basis at `row`; the departing variable takes
     /// `leave_state`.
     fn pivot(&mut self, row: usize, enter: usize, leave_state: VarState) {
+        self.pivots += 1;
         let leave = self.basis[row];
         let piv = self.a[row][enter];
         debug_assert!(piv.abs() > PIVOT_TOL, "pivot element too small: {piv}");
@@ -618,6 +941,265 @@ impl Tableau {
 /// Tie-break for the leaving variable: smallest variable index (Bland).
 fn better_leaving(current: &Option<(usize, VarState)>, _candidate_var: usize) -> bool {
     current.is_none()
+}
+
+/// Re-derives the full variable vector (structural then slack) of an
+/// optimal solution from the geometry of its terminal *vertex*,
+/// independently of both the pivot path and the terminal basis.
+///
+/// At a vertex, every variable is either tight at one of its bounds or
+/// determined by the equality rows. Degenerate vertices admit many bases —
+/// a warm and a cold solve routinely stop at the *same* vertex through
+/// *different* bases, and any basis-dependent extraction would then differ
+/// in the last bits. This extraction instead (1) classifies each variable
+/// by which bound its terminal value is tight against (`FEAS_TOL`,
+/// lower-bound preferred), pinning tight variables exactly onto the bound,
+/// then (2) solves the equality rows for the remaining interior variables
+/// by Gaussian elimination with partial row pivoting over interior columns
+/// taken in ascending variable order. The result is a pure function of
+/// `(problem, tight-set)`, so two solves stopping at the same vertex
+/// extract bit-identical solutions.
+///
+/// Returns `None` (caller falls back to basis-based extraction) when the
+/// classification does not describe a consistent vertex: more interior
+/// variables than rows, a rank-deficient interior system, leftover rows
+/// with a non-trivial residual, or a solved value straying from the
+/// terminal one (all signs of an interior variable sitting within
+/// tolerance of a bound it is not actually tight against).
+fn vertex_values(p: &Problem, terminal: &[f64]) -> Option<Vec<f64>> {
+    let n = p.n;
+    let m = p.rows.len();
+    let total = n + m;
+    let mut x = vec![0.0; total];
+    let mut is_interior = vec![false; total];
+    let mut interior: Vec<usize> = Vec::new();
+    for j in 0..total {
+        let (lo, hi) = if j < n {
+            (p.lower[j], p.upper[j])
+        } else {
+            slack_bounds(p.relations[j - n])
+        };
+        let v = terminal[j];
+        if lo.is_finite() && (v - lo).abs() <= FEAS_TOL {
+            x[j] = lo;
+        } else if hi.is_finite() && (v - hi).abs() <= FEAS_TOL {
+            x[j] = hi;
+        } else if !lo.is_finite() && !hi.is_finite() && v.abs() <= FEAS_TOL {
+            // Free variable resting at zero.
+            x[j] = 0.0;
+        } else {
+            is_interior[j] = true;
+            interior.push(j);
+        }
+    }
+    let f = interior.len();
+    if f > m {
+        return None;
+    }
+    // r = rhs − A·x_tight (column j of the constraint matrix is the
+    // original row coefficients for structural variables and the identity
+    // for slacks).
+    let mut b = p.rhs.clone();
+    for (i, bi) in b.iter_mut().enumerate() {
+        let mut dot = 0.0;
+        for (j, &xj) in x[..n].iter().enumerate() {
+            if !is_interior[j] {
+                dot += p.rows[i][j] * xj;
+            }
+        }
+        let sj = n + i;
+        if !is_interior[sj] {
+            dot += x[sj];
+        }
+        *bi -= dot;
+    }
+    let scale = b.iter().fold(1.0_f64, |acc, v| acc.max(v.abs()));
+    // Interior columns in ascending variable order; rows chosen by partial
+    // pivoting — both depend only on (problem, tight-set).
+    let mut a = vec![vec![0.0; f]; m];
+    for (k, &j) in interior.iter().enumerate() {
+        if j < n {
+            for (i, row) in p.rows.iter().enumerate() {
+                a[i][k] = row[j];
+            }
+        } else {
+            a[j - n][k] = 1.0;
+        }
+    }
+    for k in 0..f {
+        let mut piv = k;
+        let mut best = a[k][k].abs();
+        for (i, row) in a.iter().enumerate().skip(k + 1) {
+            let v = row[k].abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if best <= 1e-12 {
+            return None;
+        }
+        a.swap(k, piv);
+        b.swap(k, piv);
+        let (head, tail) = a.split_at_mut(k + 1);
+        let pivot_row = &head[k];
+        let pivot_b = b[k];
+        for (off, row) in tail.iter_mut().enumerate() {
+            let factor = row[k] / pivot_row[k];
+            if factor == 0.0 {
+                continue;
+            }
+            row[k] = 0.0;
+            for j in k + 1..f {
+                row[j] -= factor * pivot_row[j];
+            }
+            b[k + 1 + off] -= factor * pivot_b;
+        }
+    }
+    // The system is overdetermined; rows beyond the pivoted `f` are fully
+    // eliminated, so a non-trivial leftover means the tight-set was wrong.
+    for bi in &b[f..] {
+        if bi.abs() > 1e-6 * scale {
+            return None;
+        }
+    }
+    let mut y = vec![0.0; f];
+    for k in (0..f).rev() {
+        let mut s = b[k];
+        for j in k + 1..f {
+            s -= a[k][j] * y[j];
+        }
+        y[k] = s / a[k][k];
+    }
+    for (k, &j) in interior.iter().enumerate() {
+        let v = y[k];
+        if !v.is_finite() || (v - terminal[j]).abs() > 1e-5 * (1.0 + v.abs()) {
+            return None;
+        }
+        x[j] = v;
+    }
+    Some(x)
+}
+
+/// Basis-based fallback for [`vertex_values`]: nonbasic variables sit at
+/// their recorded rest bound and the basic values solve `B·x_B = b − N·x_N`
+/// by Gaussian elimination with partial pivoting over the basis columns
+/// taken in ascending variable order — a pure function of
+/// `(problem, basis set)`, still independent of the pivot path (though not
+/// of which of a degenerate vertex's bases the solve stopped in).
+///
+/// Returns `None` when the basis matrix is numerically singular (the
+/// caller then falls back to the tableau-accumulated values).
+fn canonical_values(p: &Problem, warm: &WarmStart) -> Option<Vec<f64>> {
+    let n = p.n;
+    let m = p.rows.len();
+    let total = n + m;
+    let mut is_basic = vec![false; total];
+    for &b in &warm.basis {
+        is_basic[b] = true;
+    }
+    let mut x = vec![0.0; total];
+    for j in 0..total {
+        if is_basic[j] {
+            continue;
+        }
+        let (lo, hi) = if j < n {
+            (p.lower[j], p.upper[j])
+        } else {
+            slack_bounds(p.relations[j - n])
+        };
+        x[j] = match warm.rests[j] {
+            Rest::Lower if lo.is_finite() => lo,
+            Rest::Upper if hi.is_finite() => hi,
+            Rest::Lower if hi.is_finite() => hi,
+            Rest::Upper if lo.is_finite() => lo,
+            _ => 0.0,
+        };
+    }
+    // r = b − N·x_N. Column j of the constraint matrix is the original row
+    // coefficients for structural variables and the identity for slacks.
+    let mut r = p.rhs.clone();
+    for (i, ri) in r.iter_mut().enumerate() {
+        let mut dot = 0.0;
+        for (j, &xj) in x[..n].iter().enumerate() {
+            if !is_basic[j] {
+                dot += p.rows[i][j] * xj;
+            }
+        }
+        let sj = n + i;
+        if !is_basic[sj] {
+            dot += x[sj];
+        }
+        *ri -= dot;
+    }
+    // Basis matrix with columns in ascending variable order, so the
+    // elimination path depends only on (problem, basis set) and not on
+    // which row each variable happened to be basic in.
+    let cols: Vec<usize> = (0..total).filter(|&j| is_basic[j]).collect();
+    if cols.len() != m {
+        return None;
+    }
+    let mut bmat = vec![vec![0.0; m]; m];
+    for (k, &j) in cols.iter().enumerate() {
+        if j < n {
+            for (i, row) in p.rows.iter().enumerate() {
+                bmat[i][k] = row[j];
+            }
+        } else {
+            bmat[j - n][k] = 1.0;
+        }
+    }
+    let y = gauss_solve(&mut bmat, &mut r)?;
+    for (k, &j) in cols.iter().enumerate() {
+        x[j] = y[k];
+    }
+    Some(x)
+}
+
+/// Dense Gaussian elimination with partial pivoting (ties take the
+/// smallest row index). Consumes `a` and `b`; returns `None` on a
+/// numerically singular matrix.
+fn gauss_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let m = b.len();
+    for k in 0..m {
+        let mut piv = k;
+        let mut best = a[k][k].abs();
+        for (i, row) in a.iter().enumerate().skip(k + 1) {
+            let v = row[k].abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if best <= 1e-12 {
+            return None;
+        }
+        a.swap(k, piv);
+        b.swap(k, piv);
+        let (head, tail) = a.split_at_mut(k + 1);
+        let pivot_row = &head[k];
+        let pivot_b = b[k];
+        for (off, row) in tail.iter_mut().enumerate() {
+            let factor = row[k] / pivot_row[k];
+            if factor == 0.0 {
+                continue;
+            }
+            row[k] = 0.0;
+            for j in k + 1..m {
+                row[j] -= factor * pivot_row[j];
+            }
+            b[k + 1 + off] -= factor * pivot_b;
+        }
+    }
+    let mut y = vec![0.0; m];
+    for k in (0..m).rev() {
+        let mut s = b[k];
+        for j in k + 1..m {
+            s -= a[k][j] * y[j];
+        }
+        y[k] = s / a[k][k];
+    }
+    Some(y)
 }
 
 enum RatioOutcome {
@@ -774,6 +1356,145 @@ mod tests {
         let s = p.solve().unwrap();
         assert_eq!(s.status, Status::Optimal);
         assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn warm_start_reproduces_cold_solve_bit_for_bit() {
+        // Same problem warm-started from its own optimal basis: zero
+        // repair work, identical terminal basis, so the canonical
+        // extraction must agree to the bit.
+        let mut p = Problem::new(2, Sense::Maximize);
+        p.set_objective(&[3.0, 5.0]);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_bounds(1, 0.0, f64::INFINITY);
+        p.add_row(&[1.0, 0.0], Relation::Le, 4.0);
+        p.add_row(&[0.0, 2.0], Relation::Le, 12.0);
+        p.add_row(&[3.0, 2.0], Relation::Le, 18.0);
+        let cold = p.solve().unwrap();
+        let warm = p.solve_warm(cold.warm.as_ref().unwrap()).unwrap();
+        assert!(warm.warmed);
+        assert_eq!(warm.status, Status::Optimal);
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        for (a, b) in warm.x.iter().zip(&cold.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Re-optimising from the optimal basis needs no pivots at all.
+        assert_eq!(warm.pivots, 0);
+        assert!(cold.pivots > 0);
+    }
+
+    #[test]
+    fn warm_start_after_bound_tightening_matches_cold() {
+        let mut p = Problem::new(2, Sense::Minimize);
+        p.set_objective(&[-1.0, -2.0]);
+        p.set_bounds(0, 0.0, 3.0);
+        p.set_bounds(1, 0.0, 3.0);
+        p.add_row(&[1.0, 1.0], Relation::Le, 4.0);
+        let base = p.solve().unwrap();
+        let ws = base.warm.clone().unwrap();
+        // Tighten a bound so the old optimal vertex becomes infeasible;
+        // the repair path must land on the same optimum as a cold solve.
+        p.set_bounds(1, 0.0, 1.5);
+        let cold = p.solve().unwrap();
+        let warm = p.solve_warm(&ws).unwrap();
+        assert!(warm.warmed);
+        assert_eq!(warm.status, cold.status);
+        assert_close(warm.objective, cold.objective);
+        assert_close(warm.objective, -(2.5 + 2.0 * 1.5));
+    }
+
+    #[test]
+    fn warm_start_after_objective_change_matches_cold() {
+        let mut p = Problem::new(2, Sense::Minimize);
+        p.set_objective(&[1.0, 0.0]);
+        p.set_bounds(0, -1.0, 2.0);
+        p.set_bounds(1, -1.0, 2.0);
+        p.add_row(&[1.0, 1.0], Relation::Ge, 0.5);
+        let first = p.solve().unwrap();
+        let ws = first.warm.clone().unwrap();
+        p.set_objective(&[0.0, 1.0]);
+        let cold = p.solve().unwrap();
+        let warm = p.solve_warm(&ws).unwrap();
+        assert!(warm.warmed);
+        assert_eq!(warm.status, Status::Optimal);
+        assert_close(warm.objective, cold.objective);
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_after_perturbation() {
+        let mut p = Problem::new(1, Sense::Minimize);
+        p.set_objective(&[1.0]);
+        p.set_bounds(0, 0.0, 5.0);
+        p.add_row(&[1.0], Relation::Ge, 1.0);
+        let ws = p.solve().unwrap().warm.unwrap();
+        p.set_bounds(0, 0.0, 0.5);
+        let warm = p.solve_warm(&ws).unwrap();
+        assert_eq!(warm.status, Status::Infeasible);
+        assert_eq!(p.solve().unwrap().status, Status::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_shape_mismatch_falls_back_to_cold() {
+        let mut small = Problem::new(1, Sense::Minimize);
+        small.set_objective(&[1.0]);
+        small.set_bounds(0, 0.0, 1.0);
+        small.add_row(&[1.0], Relation::Le, 1.0);
+        let ws = small.solve().unwrap().warm.unwrap();
+
+        let mut other = Problem::new(2, Sense::Minimize);
+        other.set_objective(&[2.0, 3.0]);
+        other.set_bounds(0, 0.0, f64::INFINITY);
+        other.set_bounds(1, 0.0, f64::INFINITY);
+        other.add_row(&[1.0, 1.0], Relation::Ge, 4.0);
+        let warm = other.solve_warm(&ws).unwrap();
+        assert!(!warm.warmed, "mismatched basis must fall back to phase 1");
+        assert_eq!(warm.status, Status::Optimal);
+        assert_close(warm.objective, 8.0);
+    }
+
+    #[test]
+    fn warm_start_singular_basis_falls_back_to_cold() {
+        // Capture a basis where x0 is basic, then zero x0's column so the
+        // basis matrix becomes singular: install must fail and the cold
+        // fallback must still find the optimum of the modified problem.
+        let mut p = Problem::new(2, Sense::Minimize);
+        p.set_objective(&[-1.0, 0.0]);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_bounds(1, 0.0, 1.0);
+        p.add_row(&[1.0, 1.0], Relation::Le, 2.0);
+        let sol = p.solve().unwrap();
+        let ws = sol.warm.unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-6, "x0 should be basic at 2");
+
+        let mut q = Problem::new(2, Sense::Minimize);
+        q.set_objective(&[0.0, -1.0]);
+        q.set_bounds(0, 0.0, 1.0);
+        q.set_bounds(1, 0.0, 1.0);
+        q.add_row(&[0.0, 0.0], Relation::Le, 2.0);
+        let warm = q.solve_warm(&ws).unwrap();
+        assert!(!warm.warmed, "singular basis column must fall back");
+        assert_eq!(warm.status, Status::Optimal);
+        assert_close(warm.objective, -1.0);
+    }
+
+    #[test]
+    fn solve_reports_pivots_and_warm_basis() {
+        let mut p = Problem::new(2, Sense::Maximize);
+        p.set_objective(&[1.0, 1.0]);
+        p.set_bounds(0, 0.0, 1.0);
+        p.set_bounds(1, 0.0, 1.0);
+        p.add_row(&[1.0, 1.0], Relation::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.warm.is_some());
+        assert!(!s.warmed);
+        // Non-optimal statuses carry no basis snapshot.
+        let mut inf = Problem::new(1, Sense::Minimize);
+        inf.set_bounds(0, 0.0, 1.0);
+        inf.add_row(&[1.0], Relation::Ge, 2.0);
+        let s = inf.solve().unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+        assert!(s.warm.is_none());
     }
 
     /// Brute-force reference for 2-variable LPs over a fine grid.

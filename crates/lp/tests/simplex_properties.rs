@@ -197,6 +197,19 @@ fn assemble(
     }
 }
 
+/// Feasibility check against `lp` with variable `j`'s box shrunk the same
+/// way `warm_start_matches_cold_after_bound_perturbation` shrinks it.
+fn lp_feasible_perturbed(lp: &BoundedLp, j: usize, from_above: bool, shrink: f64, x: &[f64]) -> bool {
+    let mut lp2 = lp.clone();
+    let (lo, hi) = lp2.bounds[j];
+    lp2.bounds[j] = if from_above {
+        (lo, hi - shrink * (hi - lo))
+    } else {
+        (lo + shrink * (hi - lo), hi)
+    };
+    lp2.feasible(x)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(300))]
     #[test]
@@ -239,6 +252,82 @@ proptest! {
             }
             (Err(e), _) => prop_assert!(false, "solver error on bounded LP: {e}"),
         }
+    }
+
+    /// Warm-start equivalence: perturbing one variable bound and
+    /// re-solving from the old optimal basis must reach the same status
+    /// and the same optimal objective as a cold solve of the perturbed
+    /// problem — the core soundness contract of `solve_warm`.
+    #[test]
+    fn warm_start_matches_cold_after_bound_perturbation(
+        n in 1usize..=3,
+        raw_bounds in vec((-2.0..0.0_f64, 0.1..3.0_f64), 3),
+        raw_obj in vec(-2.0..2.0_f64, 3),
+        raw_rows in vec((vec(-2.0..2.0_f64, 3), 0u8..6, -2.0..2.0_f64), 0..4),
+        maximize in 0u8..2,
+        perturb_var in 0usize..3,
+        shrink in 0.1..0.9_f64,
+        from_above in 0u8..2,
+    ) {
+        let lp = assemble(n, &raw_bounds, &raw_obj, &raw_rows, maximize == 1);
+        let base = lp.to_problem();
+        let Ok(sol) = base.solve() else { return Ok(()); };
+        let Some(ws) = sol.warm else { return Ok(()); };
+
+        // Perturb one bound: shrink the variable's box from one side.
+        let j = perturb_var % n;
+        let (lo, hi) = lp.bounds[j];
+        let mut perturbed = base.clone();
+        if from_above == 1 {
+            perturbed.set_bounds(j, lo, hi - shrink * (hi - lo));
+        } else {
+            perturbed.set_bounds(j, lo + shrink * (hi - lo), hi);
+        }
+
+        let cold = perturbed.solve().unwrap();
+        let warm = perturbed.solve_warm(&ws).unwrap();
+        prop_assert_eq!(warm.status, cold.status,
+            "warm status {:?} vs cold {:?}", warm.status, cold.status);
+        if cold.status == Status::Optimal {
+            prop_assert!(
+                (warm.objective - cold.objective).abs() <= OBJ_TOL,
+                "warm objective {} vs cold {}", warm.objective, cold.objective
+            );
+            prop_assert!(lp_feasible_perturbed(&lp, j, from_above == 1, shrink, &warm.x));
+            // Identical terminal bases extract bit-identical solutions.
+            if warm.warm == cold.warm {
+                prop_assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+                for (a, b) in warm.x.iter().zip(&cold.x) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// A warm start from a *different* problem's basis (wrong shape) must
+    /// deterministically fall back to the two-phase path and still solve
+    /// the problem exactly like a cold solve.
+    #[test]
+    fn warm_start_fallback_equals_cold(
+        n in 1usize..=3,
+        raw_bounds in vec((-2.0..0.0_f64, 0.1..3.0_f64), 3),
+        raw_obj in vec(-2.0..2.0_f64, 3),
+        raw_rows in vec((vec(-2.0..2.0_f64, 3), 0u8..6, -2.0..2.0_f64), 1..4),
+        maximize in 0u8..2,
+    ) {
+        let lp = assemble(n, &raw_bounds, &raw_obj, &raw_rows, maximize == 1);
+        let p = lp.to_problem();
+        // A basis with a mismatched row count can never be installed.
+        let mut donor = Problem::new(n, Sense::Minimize);
+        for j in 0..n {
+            donor.set_bounds(j, 0.0, 1.0);
+        }
+        let Some(ws) = donor.solve().unwrap().warm else { return Ok(()); };
+        let cold = p.solve().unwrap();
+        let warm = p.solve_warm(&ws).unwrap();
+        prop_assert!(!warm.warmed, "0-row basis must not install into a rowful problem");
+        prop_assert_eq!(warm.status, cold.status);
+        prop_assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
     }
 
     /// Pure box LPs: the optimum is read straight off the bounds, so the

@@ -413,6 +413,77 @@ impl Matrix {
         }
     }
 
+    /// Masked variant of [`fused_affine_into`](Self::fused_affine_into):
+    /// columns of `self` flagged in `skip` are dropped entirely — they
+    /// contribute to neither the matmul nor the bias accumulation, as if
+    /// `self`'s entry, `weight`'s row, and `bias`'s entry were all absent.
+    ///
+    /// Callers must guarantee the skipped coefficients are semantically
+    /// zero (back-substitution uses this for neurons whose ReLU relaxation
+    /// is identically zero). Relative to the unmasked kernel with actual
+    /// `±0.0` coefficients the only representable difference is the sign
+    /// of a zero constant term, since the unmasked path still adds
+    /// `±0.0 * bias[k]` into the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch, including `skip.len() != self.cols()`.
+    pub fn fused_affine_into_masked(
+        &self,
+        weight: &Matrix,
+        bias: &[f64],
+        consts: &mut [f64],
+        out: &mut Matrix,
+        skip: &[bool],
+    ) {
+        assert_eq!(
+            self.cols, weight.rows,
+            "Matrix::fused_affine_into_masked: {}x{} * {}x{} is not defined",
+            self.rows, self.cols, weight.rows, weight.cols
+        );
+        assert_eq!(
+            bias.len(),
+            self.cols,
+            "Matrix::fused_affine_into_masked: bias length {} does not match {} cols",
+            bias.len(),
+            self.cols
+        );
+        assert_eq!(
+            consts.len(),
+            self.rows,
+            "Matrix::fused_affine_into_masked: consts length {} does not match {} rows",
+            consts.len(),
+            self.rows
+        );
+        assert_eq!(
+            skip.len(),
+            self.cols,
+            "Matrix::fused_affine_into_masked: skip length {} does not match {} cols",
+            skip.len(),
+            self.cols
+        );
+        out.resize_zeroed(self.rows, weight.cols);
+        for (i, cslot) in consts.iter_mut().enumerate() {
+            let mut c = 0.0;
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (k, (&a, &b)) in arow.iter().zip(bias).enumerate() {
+                if skip[k] {
+                    continue;
+                }
+                c += a * b;
+                if a == 0.0 {
+                    continue;
+                }
+                let wrow = &weight.data[k * weight.cols..(k + 1) * weight.cols];
+                let orow = &mut out.data[i * weight.cols..(i + 1) * weight.cols];
+                for (o, &w) in orow.iter_mut().zip(wrow) {
+                    *o += a * w;
+                }
+            }
+            *cslot += c;
+        }
+    }
+
     /// Matrix–vector product `self * x`.
     ///
     /// # Panics
@@ -781,6 +852,43 @@ mod tests {
             for (i, c0) in consts.iter().enumerate() {
                 let want = c0 + crate::vecops::dot(a.row(i), &bias);
                 prop_assert_eq!(fused_c[i].to_bits(), want.to_bits());
+            }
+        }
+
+        #[test]
+        fn fused_affine_masked_matches_zeroed_column_reference(
+            a in small_matrix(3, 4),
+            w in small_matrix(4, 5),
+            bias in proptest::collection::vec(-5.0..5.0_f64, 4),
+            consts in proptest::collection::vec(-5.0..5.0_f64, 3),
+            skip_bits in proptest::collection::vec(0u8..2, 4),
+        ) {
+            let skip: Vec<bool> = skip_bits.iter().map(|&b| b == 1).collect();
+            let mut masked_c = consts.clone();
+            let mut out = Matrix::zeros(0, 0);
+            a.fused_affine_into_masked(&w, &bias, &mut masked_c, &mut out, &skip);
+            // Reference: zero the skipped columns (coefficients and bias)
+            // up front, then run the plain kernel. A positive-zero
+            // coefficient times a zero bias adds +0.0, which never changes
+            // an IEEE-754 running sum, so the two must agree bit-for-bit.
+            let a_ref = Matrix::from_fn(
+                a.rows(),
+                a.cols(),
+                |i, j| if skip[j] { 0.0 } else { a.row(i)[j] },
+            );
+            let bias_ref: Vec<f64> = bias
+                .iter()
+                .enumerate()
+                .map(|(j, &b)| if skip[j] { 0.0 } else { b })
+                .collect();
+            let mut ref_c = consts.clone();
+            let mut ref_out = Matrix::zeros(0, 0);
+            a_ref.fused_affine_into(&w, &bias_ref, &mut ref_c, &mut ref_out);
+            for (u, v) in out.as_slice().iter().zip(ref_out.as_slice()) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+            for (u, v) in masked_c.iter().zip(&ref_c) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
             }
         }
 

@@ -45,6 +45,23 @@ for report in "$out2"/rq1-smoke-2025.* "$out2"/table2.csv; do
     diff "$report" "$outnc/$(basename "$report")"
 done
 
+echo "== warm-start equivalence: --no-warm-start must reproduce every report byte =="
+outnw=$(mktemp -d)
+cargo run --release -q -p abonn-bench --bin table2 -- \
+    --scale smoke --seed 2025 --threads 2 --fresh --no-warm-start \
+    --out-dir "$outnw" >/dev/null
+for report in "$out2"/rq1-smoke-2025.* "$out2"/table2.csv; do
+    diff "$report" "$outnw/$(basename "$report")"
+done
+
+echo "== benches: warm-start LP micro-benchmarks (archived as BENCH_lp.json) =="
+rm -f target/experiments/BENCH_lp.json
+ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_lp.json" \
+    cargo bench -q -p abonn-lp --bench simplex_warm
+ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_lp.json" \
+    cargo bench -q -p abonn-bound --bench triangle_lp
+test -s target/experiments/BENCH_lp.json
+
 echo "== soundness: fixed-seed differential fuzz smoke =="
 outfz=$(mktemp -d)
 cargo run --release -q -p abonn-bench --bin fuzz -- \
@@ -56,5 +73,5 @@ echo "== soundness: certificate audit over the MNIST tier-1 suite =="
 cargo run --release -q -p abonn-bench --bin check -- \
     --scale smoke --seed 2025 --out-dir "$out2" --models mnist 2>/dev/null
 
-rm -rf "$out1" "$out2" "$outnc" "$outfz"
+rm -rf "$out1" "$out2" "$outnc" "$outnw" "$outfz"
 echo "ci: ok"
