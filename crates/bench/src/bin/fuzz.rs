@@ -10,8 +10,10 @@
 //! from `--seed`, runs every engine variant on each (see
 //! `abonn-check`'s `fuzz` module for the cross-check list), minimizes
 //! any failing case, and dumps it as a re-runnable JSON repro under
-//! `--out-dir`. Exits 0 on a clean campaign, 1 on any failure,
-//! 2 on usage errors.
+//! `--out-dir`. With `--served`, the campaign instead cross-checks the
+//! `abonn-serve` daemon against single-shot batch runs (see
+//! `abonn-serve`'s `fuzz` module). Exits 0 on a clean campaign, 1 on
+//! any failure, 2 on usage errors.
 
 use abonn_check::{run_campaign, run_case, FuzzCase};
 use std::path::PathBuf;
@@ -22,10 +24,11 @@ struct Options {
     count: u64,
     out_dir: PathBuf,
     replay: Option<PathBuf>,
+    served: bool,
 }
 
-const USAGE: &str =
-    "usage: fuzz [--seed N] [--count N] [--out-dir DIR] | fuzz --replay CASE.json";
+const USAGE: &str = "usage: fuzz [--seed N] [--count N] [--out-dir DIR] [--served] \
+                     | fuzz --replay CASE.json";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -33,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
         count: 25,
         out_dir: PathBuf::from("target/fuzz"),
         replay: None,
+        served: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -42,11 +46,35 @@ fn parse_args() -> Result<Options, String> {
             "--count" => opts.count = value()?.parse().map_err(|e| format!("bad --count: {e}"))?,
             "--out-dir" => opts.out_dir = PathBuf::from(value()?),
             "--replay" => opts.replay = Some(PathBuf::from(value()?)),
+            "--served" => opts.served = true,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
     Ok(opts)
+}
+
+fn served(seed: u64, count: u64) -> ExitCode {
+    eprintln!("served-vs-batch fuzzing {count} cases from seed {seed}");
+    let outcome = abonn_serve::run_served_campaign(seed, count);
+    println!(
+        "{} cases: {} verified, {} falsified, {} timeout; {} store hits; \
+         {} served-UNSAT audits passed; {} mismatches",
+        outcome.cases,
+        outcome.verified,
+        outcome.falsified,
+        outcome.timeout,
+        outcome.store_hits,
+        outcome.audits_passed,
+        outcome.mismatches.len()
+    );
+    if outcome.is_clean() {
+        return ExitCode::SUCCESS;
+    }
+    for mismatch in &outcome.mismatches {
+        println!("FAIL {mismatch}");
+    }
+    ExitCode::from(1)
 }
 
 fn replay(path: &PathBuf) -> ExitCode {
@@ -86,6 +114,9 @@ fn main() -> ExitCode {
     };
     if let Some(path) = &opts.replay {
         return replay(path);
+    }
+    if opts.served {
+        return served(opts.seed, opts.count);
     }
 
     eprintln!("fuzzing {} cases from seed {}", opts.count, opts.seed);

@@ -1,0 +1,135 @@
+//! The verification service daemon front-end.
+//!
+//! ```sh
+//! cargo run --release -p abonn-bench --bin serve -- \
+//!     [--threads N] [--max-calls N] [--default-calls N] \
+//!     [--model-dir DIR] [--model-cache N] [--audit-stored] \
+//!     [--store-stats FILE] [--tcp ADDR]
+//! ```
+//!
+//! Reads one JSON request per line from stdin (or, with `--tcp`, from
+//! sequentially accepted TCP connections) and writes one JSON response
+//! per line. The response stream is byte-identical for any `--threads`
+//! value: queries run sequentially, parallelism lives inside the engine.
+//! At EOF the store/model counters are written as JSON to
+//! `--store-stats` when given. Exits 0 on EOF, 2 on usage errors.
+
+use abonn_serve::{Server, ServerConfig};
+use std::io::{BufReader, Write as _};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    config: ServerConfig,
+    store_stats: Option<PathBuf>,
+    tcp: Option<String>,
+}
+
+const USAGE: &str = "usage: serve [--threads N] [--max-calls N] [--default-calls N] \
+                     [--model-dir DIR] [--model-cache N] [--audit-stored] \
+                     [--store-stats FILE] [--tcp ADDR]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        config: ServerConfig::default(),
+        store_stats: None,
+        tcp: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--threads" => {
+                opts.config.threads =
+                    value()?.parse().map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--max-calls" => {
+                opts.config.max_calls =
+                    value()?.parse().map_err(|e| format!("bad --max-calls: {e}"))?;
+            }
+            "--default-calls" => {
+                opts.config.default_calls = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --default-calls: {e}"))?;
+            }
+            "--model-dir" => opts.config.model_dir = Some(PathBuf::from(value()?)),
+            "--model-cache" => {
+                opts.config.model_cache_capacity = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --model-cache: {e}"))?;
+            }
+            "--audit-stored" => opts.config.audit_stored = true,
+            "--store-stats" => opts.store_stats = Some(PathBuf::from(value()?)),
+            "--tcp" => opts.tcp = Some(value()?),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn write_stats(server: &Server, path: &PathBuf) {
+    let json = serde_json::to_string_pretty(&server.stats_json())
+        .expect("stats tree serialises");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => eprintln!("store counters written to {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+fn serve_tcp(server: &mut Server, addr: &str) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    eprintln!(
+        "listening on {} (one connection at a time; Ctrl-C to stop)",
+        listener.local_addr()?
+    );
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let peer = stream.peer_addr()?;
+        eprintln!("connection from {peer}");
+        let reader = BufReader::new(stream.try_clone()?);
+        // The store and model cache persist across connections: proofs
+        // established for one client answer the next client's queries.
+        if let Err(e) = server.run(reader, stream) {
+            eprintln!("connection {peer} ended with error: {e}");
+        } else {
+            eprintln!("connection {peer} closed");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut server = Server::new(opts.config);
+    let result = match &opts.tcp {
+        Some(addr) => serve_tcp(&mut server, addr),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let r = server.run(stdin.lock(), &mut out);
+            let _ = out.flush();
+            r
+        }
+    };
+    if let Some(path) = &opts.store_stats {
+        write_stats(&server, path);
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("I/O error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

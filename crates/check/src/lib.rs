@@ -22,6 +22,9 @@
 //!   three engines across cache and thread configurations, and
 //!   cross-checks verdicts, witnesses, `RunStats` determinism, and
 //!   certificates; failures are minimized into re-runnable JSON repros.
+//! * [`replay`] re-establishes a SAT witness against a VNN-LIB property
+//!   with one concrete forward pass — the check proof-reuse layers run
+//!   before serving a cached counterexample to a dominating query.
 //!
 //! What this crate deliberately shares with the engines: the problem and
 //! certificate *types* (`abonn-core`), the network representation
@@ -32,9 +35,11 @@ pub mod audit;
 pub mod fuzz;
 pub mod interval;
 pub mod leaf;
+pub mod replay;
 
 pub use audit::{audit_certificate, audit_partial, AuditError, AuditReport};
 pub use fuzz::{generate_case, minimize, run_campaign, run_case, CampaignOutcome, FuzzCase,
     FuzzFailure};
 pub use interval::{propagate, IntervalBounds};
 pub use leaf::{check_leaf, LeafError, LeafOutcome, LeafStage};
+pub use replay::{replay_witness, ReplayError};

@@ -23,6 +23,15 @@ impl Verdict {
     pub fn is_solved(&self) -> bool {
         !matches!(self, Verdict::Timeout)
     }
+
+    /// The counterexample carried by a [`Verdict::Falsified`] verdict.
+    #[must_use]
+    pub fn witness(&self) -> Option<&[f64]> {
+        match self {
+            Verdict::Falsified(w) => Some(w),
+            Verdict::Verified | Verdict::Timeout => None,
+        }
+    }
 }
 
 /// Resource budget for a run.
@@ -54,6 +63,22 @@ impl Budget {
     pub fn and_wall_limit(mut self, limit: Duration) -> Self {
         self.wall_limit = Some(limit);
         self
+    }
+
+    /// Admission control: caps the call budget at `cap`, reporting
+    /// whether the request was actually reduced.
+    ///
+    /// Services accepting client-chosen budgets clamp them with this so
+    /// one query cannot monopolise the engine; because the cap is
+    /// call-based (never wall-based) the admitted budget — and therefore
+    /// the verdict and every counter — stays machine-independent.
+    #[must_use]
+    pub fn clamped_to(mut self, cap: usize) -> (Self, bool) {
+        let clamped = self.max_appver_calls > cap;
+        if clamped {
+            self.max_appver_calls = cap;
+        }
+        (self, clamped)
     }
 }
 
@@ -295,6 +320,31 @@ mod tests {
         assert!(text.contains("37 LP pivots"));
         assert!(text.contains("4 warm / 2 cold solves"));
         assert!(text.contains("1.500s"));
+    }
+
+    #[test]
+    fn witness_accessor_only_on_falsified() {
+        assert_eq!(Verdict::Verified.witness(), None);
+        assert_eq!(Verdict::Timeout.witness(), None);
+        let w = vec![0.25, 0.75];
+        assert_eq!(Verdict::Falsified(w.clone()).witness(), Some(w.as_slice()));
+    }
+
+    #[test]
+    fn budget_clamp_is_admission_control() {
+        let (b, clamped) = Budget::with_appver_calls(10_000).clamped_to(500);
+        assert!(clamped);
+        assert_eq!(b.max_appver_calls, 500);
+        // Requests at or under the cap pass through untouched.
+        let (b, clamped) = Budget::with_appver_calls(200).clamped_to(500);
+        assert!(!clamped);
+        assert_eq!(b.max_appver_calls, 200);
+        // Wall limits survive the clamp.
+        let (b, _) = Budget::with_appver_calls(9)
+            .and_wall_limit(Duration::from_secs(1))
+            .clamped_to(4);
+        assert_eq!(b.max_appver_calls, 4);
+        assert_eq!(b.wall_limit, Some(Duration::from_secs(1)));
     }
 
     #[test]

@@ -176,6 +176,26 @@ impl RobustnessProblem {
         net: &Network,
         property: &abonn_vnnlib::Property,
     ) -> Result<Self, SpecError> {
+        let canon =
+            CanonicalNetwork::from_network(net).map_err(|e| SpecError::Lowering(e.to_string()))?;
+        Self::from_vnnlib_prelowered(net, &canon, property)
+    }
+
+    /// [`RobustnessProblem::from_vnnlib`] with the lowering step hoisted
+    /// out: `canon` must be `CanonicalNetwork::from_network(net)`.
+    ///
+    /// Long-lived services answering many queries against the same model
+    /// lower it once, cache the canonical form, and build each query's
+    /// margin network from the cached copy.
+    ///
+    /// # Errors
+    ///
+    /// As [`RobustnessProblem::from_vnnlib`].
+    pub fn from_vnnlib_prelowered(
+        net: &Network,
+        canon: &CanonicalNetwork,
+        property: &abonn_vnnlib::Property,
+    ) -> Result<Self, SpecError> {
         if property.num_inputs() != net.input_dim() {
             return Err(SpecError::InputDimMismatch {
                 got: property.num_inputs(),
@@ -198,6 +218,17 @@ impl RobustnessProblem {
         if adversarial.is_empty() {
             return Err(SpecError::BadProperty("no adversarial classes".into()));
         }
+        // Wire-supplied boxes can be empty (contradictory bounds); the
+        // InputBox constructor treats that as a caller bug and panics, so
+        // reject it here where "caller" means an untrusted client.
+        if let Some(i) = (0..property.num_inputs())
+            .find(|&i| property.input_lo[i] > property.input_hi[i])
+        {
+            return Err(SpecError::BadProperty(format!(
+                "empty input box: lo[{i}] = {} > hi[{i}] = {}",
+                property.input_lo[i], property.input_hi[i]
+            )));
+        }
         let region = InputBox::new(property.input_lo.clone(), property.input_hi.clone());
         let input: Vec<f64> = region.center();
         let epsilon = property
@@ -207,7 +238,7 @@ impl RobustnessProblem {
             .map(|(l, h)| 0.5 * (h - l))
             .fold(0.0_f64, f64::max)
             .max(1e-9);
-        Self::build(net, region, input, label, epsilon, adversarial)
+        Self::build_prelowered(net, canon, region, input, label, epsilon, adversarial)
     }
 
     /// Shared constructor: margin rows `e_label − e_j` for each
@@ -222,6 +253,19 @@ impl RobustnessProblem {
     ) -> Result<Self, SpecError> {
         let canon =
             CanonicalNetwork::from_network(net).map_err(|e| SpecError::Lowering(e.to_string()))?;
+        Self::build_prelowered(net, &canon, region, input, label, epsilon, adversarial)
+    }
+
+    /// [`RobustnessProblem::build`] with the network already lowered.
+    fn build_prelowered(
+        net: &Network,
+        canon: &CanonicalNetwork,
+        region: InputBox,
+        input: Vec<f64>,
+        label: usize,
+        epsilon: f64,
+        adversarial: Vec<usize>,
+    ) -> Result<Self, SpecError> {
         let classes = net.output_dim();
         let mut c = Matrix::zeros(adversarial.len(), classes);
         for (r, &j) in adversarial.iter().enumerate() {
@@ -373,6 +417,49 @@ mod tests {
             via_vnnlib.margin_net().forward(&x)
         );
         assert_eq!(direct.validate_witness(&x), via_vnnlib.validate_witness(&x));
+    }
+
+    #[test]
+    fn empty_wire_box_is_rejected_not_panicked() {
+        // A client can assert contradictory bounds; the parser accepts
+        // them (the box is syntactically complete), so the spec layer
+        // must reject the empty region instead of tripping InputBox's
+        // panic.
+        let net = three_class_net();
+        let text = "\
+(declare-const X_0 Real)
+(declare-const X_1 Real)
+(declare-const Y_0 Real)
+(declare-const Y_1 Real)
+(declare-const Y_2 Real)
+(assert (>= X_0 0.9))
+(assert (<= X_0 0.1))
+(assert (>= X_1 0.0))
+(assert (<= X_1 1.0))
+(assert (or (and (<= Y_0 Y_1))))
+";
+        let property = abonn_vnnlib::parse(text).unwrap();
+        assert!(matches!(
+            RobustnessProblem::from_vnnlib(&net, &property),
+            Err(SpecError::BadProperty(_))
+        ));
+    }
+
+    #[test]
+    fn prelowered_constructor_matches_from_vnnlib() {
+        let net = three_class_net();
+        let canon = CanonicalNetwork::from_network(&net).unwrap();
+        let text = abonn_vnnlib::write_robustness(&[0.5, 0.45], 0.1, 0, 3);
+        let property = abonn_vnnlib::parse(&text).unwrap();
+        let direct = RobustnessProblem::from_vnnlib(&net, &property).unwrap();
+        let pre = RobustnessProblem::from_vnnlib_prelowered(&net, &canon, &property).unwrap();
+        assert_eq!(direct.region(), pre.region());
+        assert_eq!(direct.label(), pre.label());
+        let x = [0.45, 0.5];
+        assert_eq!(
+            direct.margin_net().forward(&x),
+            pre.margin_net().forward(&x)
+        );
     }
 
     #[test]

@@ -67,6 +67,7 @@ const ENGINE_SRC: &[&str] = &[
     "crates/lp/src/",
     "crates/nn/src/",
     "crates/tensor/src/",
+    "crates/serve/src/",
 ];
 
 /// Paths that build or persist reports, certificates, or stats: their
@@ -76,6 +77,7 @@ const ORDERED_OUTPUT_PATHS: &[&str] = &[
     "crates/core/src/certificate.rs",
     "crates/core/src/driver.rs",
     "crates/check/src/",
+    "crates/serve/src/",
 ];
 
 /// Files audited to contain the workspace's only `unsafe` blocks.

@@ -1,0 +1,160 @@
+//! Model LRU: each network is validated and lowered to canonical form
+//! once, then every query against the same content hash reuses the
+//! lowered copy ("lowered once").
+//!
+//! Recency is a deterministic logical tick (queries processed), not wall
+//! time, so eviction order is identical on every machine. Ties (which
+//! cannot happen — ticks are unique per touch) would break by key.
+
+use crate::hash::model_hash;
+use abonn_nn::{CanonicalNetwork, Network};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A network plus its cached canonical lowering.
+#[derive(Debug)]
+pub struct LoweredModel {
+    /// The validated network.
+    pub network: Network,
+    /// Its canonical form, lowered once at admission.
+    pub canonical: CanonicalNetwork,
+}
+
+/// Model cache counters, serialised into the stats artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelCacheCounters {
+    /// Queries that found their model already lowered.
+    pub hits: usize,
+    /// Queries that lowered a model.
+    pub misses: usize,
+    /// Models evicted to stay under capacity.
+    pub evictions: usize,
+}
+
+/// Deterministic LRU of lowered models keyed by content hash.
+#[derive(Debug)]
+pub struct ModelCache {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<u64, (u64, Arc<LoweredModel>)>,
+    counters: ModelCacheCounters,
+}
+
+impl ModelCache {
+    /// Cache holding at most `capacity` lowered models (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: BTreeMap::new(),
+            counters: ModelCacheCounters::default(),
+        }
+    }
+
+    /// Fetches the lowered model for `hash`, if cached; refreshes its
+    /// recency.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<LoweredModel>> {
+        self.tick += 1;
+        match self.entries.get_mut(&hash) {
+            Some((last_used, model)) => {
+                *last_used = self.tick;
+                self.counters.hits += 1;
+                Some(Arc::clone(model))
+            }
+            None => None,
+        }
+    }
+
+    /// Lowers and admits a network, evicting the least-recently-used
+    /// model if over capacity. Returns `(content_hash, lowered)`.
+    ///
+    /// # Errors
+    ///
+    /// The lowering error message when the network cannot be put in
+    /// canonical form.
+    pub fn admit(&mut self, network: Network) -> Result<(u64, Arc<LoweredModel>), String> {
+        let hash = model_hash(&network);
+        if let Some(model) = self.get(hash) {
+            return Ok((hash, model));
+        }
+        self.counters.misses += 1;
+        let canonical = CanonicalNetwork::from_network(&network).map_err(|e| e.to_string())?;
+        let model = Arc::new(LoweredModel { network, canonical });
+        self.tick += 1;
+        self.entries.insert(hash, (self.tick, Arc::clone(&model)));
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(key, (last_used, _))| (*last_used, **key))
+                .map(|(key, _)| *key)
+                .expect("non-empty cache has a minimum");
+            self.entries.remove(&victim);
+            self.counters.evictions += 1;
+        }
+        Ok((hash, model))
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> ModelCacheCounters {
+        self.counters
+    }
+
+    /// Number of currently cached models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abonn_nn::{Layer, Shape};
+    use abonn_tensor::Matrix;
+
+    fn tiny_net(bias: f64) -> Network {
+        Network::new(
+            Shape::Flat(1),
+            vec![Layer::dense(
+                Matrix::from_rows(&[&[1.0], &[-1.0]]),
+                vec![bias, 0.0],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn admission_is_content_addressed() {
+        let mut cache = ModelCache::new(4);
+        let (h1, _) = cache.admit(tiny_net(0.0)).unwrap();
+        let (h2, _) = cache.admit(tiny_net(0.0)).unwrap();
+        let (h3, _) = cache.admit(tiny_net(1.0)).unwrap();
+        assert_eq!(h1, h2, "identical content, identical hash");
+        assert_ne!(h1, h3);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.evictions), (1, 2, 0));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ModelCache::new(2);
+        let (h0, _) = cache.admit(tiny_net(0.0)).unwrap();
+        let (_h1, _) = cache.admit(tiny_net(1.0)).unwrap();
+        // Touch h0 so h1 becomes the victim.
+        assert!(cache.get(h0).is_some());
+        let (_h2, _) = cache.admit(tiny_net(2.0)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(h0).is_some(), "recently used survives");
+        assert_eq!(cache.counters().evictions, 1);
+    }
+}

@@ -1,0 +1,593 @@
+//! The verification service: one query in, one response line out.
+//!
+//! The server processes queries *sequentially* — parallelism lives
+//! inside each query, where the engine's [`WorkerPool`] fans bound
+//! computations out — so the response stream is a pure function of the
+//! request stream: byte-identical across `--threads` settings and
+//! machines. Budgets are call-only (never wall-clock), which is what
+//! makes that claim hold for verdicts too.
+
+use crate::hash::{exact_property_key, robustness_family_key};
+use crate::model_cache::{LoweredModel, ModelCache};
+use crate::protocol::{
+    self, error_line, float_array, num, obj, uint, ModelRef, Request, VerifyRequest,
+};
+use crate::store::{CachedEntry, CachedVerdict, HitKind, ResultStore};
+use abonn_check::{audit_certificate, replay_witness};
+use abonn_core::{AbonnVerifier, Budget, RobustnessProblem, Verdict, WorkerPool};
+use abonn_vnnlib::Property;
+use serde_json::Value;
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Engine configuration tag baked into every store key: bump it whenever
+/// a change could alter verdicts, and old entries stop matching.
+pub const ENGINE_CONFIG: &str = "abonn/planet/v1";
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads for intra-query parallelism.
+    pub threads: usize,
+    /// Hard admission-control cap on any query's call budget.
+    pub max_calls: usize,
+    /// Budget used when a query names none.
+    pub default_calls: usize,
+    /// Directory named models are resolved against.
+    pub model_dir: Option<PathBuf>,
+    /// How many lowered models to keep resident.
+    pub model_cache_capacity: usize,
+    /// Re-audit every store-served certificate even when the query does
+    /// not ask for it.
+    pub audit_stored: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            max_calls: 10_000,
+            default_calls: 2_000,
+            model_dir: None,
+            model_cache_capacity: 8,
+            audit_stored: false,
+        }
+    }
+}
+
+/// Rebuilds a robustness property's input box as the clamped L∞ ball of
+/// radius `epsilon` around `center` (domain `[0, 1]`), keeping the
+/// parsed violation region. This is the meaning of the wire `epsilon`
+/// field: the property text supplies the output constraint shape, the
+/// override supplies the region — which is what joins the query to an
+/// ε-monotone store family.
+#[must_use]
+pub fn apply_epsilon_override(property: &Property, center: &[f64], epsilon: f64) -> Property {
+    let mut adjusted = property.clone();
+    adjusted.input_lo = center.iter().map(|&c| (c - epsilon).max(0.0)).collect();
+    adjusted.input_hi = center.iter().map(|&c| (c + epsilon).min(1.0)).collect();
+    adjusted
+}
+
+/// How the store key and region were derived for one query.
+struct QueryPlan {
+    /// Store family key.
+    family: u64,
+    /// ε-coordinate inside the family (0 for exact-only families).
+    epsilon: f64,
+    /// Whether the family supports ε-monotone reuse.
+    monotone: bool,
+    /// The property actually verified (box possibly rebuilt).
+    property: Property,
+    /// The center the family is keyed by (ε-families only).
+    center: Option<Vec<f64>>,
+}
+
+/// The verification service daemon.
+pub struct Server {
+    config: ServerConfig,
+    pool: Arc<WorkerPool>,
+    store: ResultStore,
+    models: ModelCache,
+    queries: usize,
+    appver_calls_total: usize,
+}
+
+impl Server {
+    /// Builds a server; spawns its worker pool up front.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        let pool = Arc::new(if config.threads <= 1 {
+            WorkerPool::inline()
+        } else {
+            WorkerPool::new(config.threads)
+        });
+        let models = ModelCache::new(config.model_cache_capacity);
+        Self {
+            config,
+            pool,
+            store: ResultStore::new(),
+            models,
+            queries: 0,
+            appver_calls_total: 0,
+        }
+    }
+
+    /// Handles one request line; `None` for blank lines.
+    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        match protocol::parse_request(line) {
+            Err(msg) => Some(error_line(&protocol::best_effort_id(line), &msg)),
+            Ok(Request::Stats { id }) => Some(self.stats_response(&id)),
+            Ok(Request::Verify(req)) => {
+                self.queries += 1;
+                Some(self.handle_verify(&req))
+            }
+        }
+    }
+
+    /// Runs the line protocol over a reader/writer pair until EOF.
+    ///
+    /// Lines that are not valid UTF-8 get a structured error response;
+    /// output is flushed after every line so pipes see responses
+    /// promptly.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors from the underlying streams.
+    pub fn run<R: BufRead, W: Write>(&mut self, mut input: R, mut output: W) -> io::Result<()> {
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if input.read_until(b'\n', &mut buf)? == 0 {
+                return Ok(());
+            }
+            let response = match std::str::from_utf8(&buf) {
+                Ok(line) => self.handle_line(line),
+                Err(_) => Some(error_line(
+                    &Value::Null,
+                    "request line is not valid UTF-8",
+                )),
+            };
+            if let Some(response) = response {
+                output.write_all(response.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+            }
+        }
+    }
+
+    fn handle_verify(&mut self, req: &VerifyRequest) -> String {
+        let (model_hash, model) = match self.resolve_model(&req.model) {
+            Ok(m) => m,
+            Err(msg) => return error_line(&req.id, &msg),
+        };
+        let property = match abonn_vnnlib::parse_bytes(req.property.as_bytes()) {
+            Ok(p) => p,
+            Err(e) => return error_line(&req.id, &format!("invalid property: {e}")),
+        };
+        let plan = match self.plan_query(model_hash, &model, &property, req) {
+            Ok(p) => p,
+            Err(msg) => return error_line(&req.id, &msg),
+        };
+
+        if let Some((kind, entry)) = self.store.lookup(plan.family, plan.epsilon) {
+            // A stored entry that fails replay/audit is never served; on
+            // Err the query falls through to a fresh computation.
+            if let Ok(response) = self.serve_from_store(req, &model, &plan, kind, &entry) {
+                return response;
+            }
+        }
+        self.verify_fresh(req, &model, &plan)
+    }
+
+    fn resolve_model(&mut self, model: &ModelRef) -> Result<(u64, Arc<LoweredModel>), String> {
+        let network = match model {
+            ModelRef::Inline(text) => abonn_nn::io::from_json(text)
+                .map_err(|e| format!("invalid model: {e}"))?,
+            ModelRef::Named(name) => {
+                if name.contains('/') || name.contains('\\') || name.contains("..") {
+                    return Err(format!("invalid model name '{name}'"));
+                }
+                let Some(dir) = self.config.model_dir.as_ref() else {
+                    return Err(format!(
+                        "unknown model '{name}': no model directory configured"
+                    ));
+                };
+                abonn_nn::io::load_network(&dir.join(name))
+                    .map_err(|e| format!("unknown model '{name}': {e}"))?
+            }
+        };
+        self.models.admit(network).map_err(|e| format!("model does not lower: {e}"))
+    }
+
+    fn plan_query(
+        &self,
+        model_hash: u64,
+        model: &LoweredModel,
+        property: &Property,
+        req: &VerifyRequest,
+    ) -> Result<QueryPlan, String> {
+        if property.num_inputs() != model.network.input_dim() {
+            return Err(format!(
+                "property declares {} inputs, model expects {}",
+                property.num_inputs(),
+                model.network.input_dim()
+            ));
+        }
+        let Some(epsilon) = req.epsilon else {
+            return Ok(QueryPlan {
+                family: exact_property_key(model_hash, property, ENGINE_CONFIG),
+                epsilon: 0.0,
+                monotone: false,
+                property: property.clone(),
+                center: None,
+            });
+        };
+        let Some((label, adversarial)) = property.as_robustness() else {
+            return Err(
+                "epsilon override requires a classification-robustness property".into(),
+            );
+        };
+        let center = match &req.center {
+            Some(c) => {
+                if c.len() != property.num_inputs() {
+                    return Err(format!(
+                        "center has {} coordinates, property declares {}",
+                        c.len(),
+                        property.num_inputs()
+                    ));
+                }
+                c.clone()
+            }
+            None => property
+                .input_lo
+                .iter()
+                .zip(&property.input_hi)
+                .map(|(l, h)| 0.5 * (l + h))
+                .collect(),
+        };
+        if let Some(i) = center.iter().position(|c| !(0.0..=1.0).contains(c)) {
+            return Err(format!(
+                "center coordinate {i} = {} is outside the [0, 1] input domain",
+                center[i]
+            ));
+        }
+        let family =
+            robustness_family_key(model_hash, label, &adversarial, &center, ENGINE_CONFIG);
+        Ok(QueryPlan {
+            family,
+            epsilon,
+            monotone: true,
+            property: apply_epsilon_override(property, &center, epsilon),
+            center: Some(center),
+        })
+    }
+
+    /// Tries to answer from a store entry. `Err(())` means the entry was
+    /// not servable (failed replay or audit) and the query must run
+    /// fresh.
+    fn serve_from_store(
+        &mut self,
+        req: &VerifyRequest,
+        model: &LoweredModel,
+        plan: &QueryPlan,
+        kind: HitKind,
+        entry: &CachedEntry,
+    ) -> Result<String, ()> {
+        let audit_wanted = req.audit || self.config.audit_stored;
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("id", req.id.clone()),
+            ("status", Value::String("ok".into())),
+        ];
+        match &entry.verdict {
+            CachedVerdict::Unsat { certificate } => {
+                let audited = if audit_wanted {
+                    // The certificate proves the property at its SOURCE
+                    // radius; audit against that region, which covers the
+                    // query's (ε′ ≤ ε ⇒ nested clamped balls).
+                    let source_property = match (plan.monotone, &plan.center) {
+                        (true, Some(center)) => {
+                            apply_epsilon_override(&plan.property, center, entry.epsilon)
+                        }
+                        _ => plan.property.clone(),
+                    };
+                    let Ok(problem) = RobustnessProblem::from_vnnlib_prelowered(
+                        &model.network,
+                        &model.canonical,
+                        &source_property,
+                    ) else {
+                        return Err(());
+                    };
+                    if audit_certificate(certificate, &problem).is_err() {
+                        return Err(());
+                    }
+                    true
+                } else {
+                    false
+                };
+                fields.push(("verdict", Value::String("verified".into())));
+                push_store_fields(&mut fields, kind, entry.epsilon, plan.monotone);
+                fields.push(("appver_calls", uint(0)));
+                fields.push(("nodes_visited", uint(0)));
+                if audited {
+                    fields.push(("audit", Value::String("passed".into())));
+                }
+            }
+            CachedVerdict::Sat { witness } => {
+                // A cached witness is never trusted blindly: replay it
+                // against the query's own region and violation.
+                if replay_witness(&model.network, &plan.property, witness).is_err() {
+                    return Err(());
+                }
+                fields.push(("verdict", Value::String("falsified".into())));
+                fields.push(("witness", float_array(witness)));
+                push_store_fields(&mut fields, kind, entry.epsilon, plan.monotone);
+                fields.push(("appver_calls", uint(0)));
+                fields.push(("nodes_visited", uint(0)));
+            }
+        }
+        Ok(render(&fields))
+    }
+
+    fn verify_fresh(
+        &mut self,
+        req: &VerifyRequest,
+        model: &LoweredModel,
+        plan: &QueryPlan,
+    ) -> String {
+        let problem = match RobustnessProblem::from_vnnlib_prelowered(
+            &model.network,
+            &model.canonical,
+            &plan.property,
+        ) {
+            Ok(p) => p,
+            Err(e) => return error_line(&req.id, &format!("unsupported property: {e}")),
+        };
+        let requested = req.calls.unwrap_or(self.config.default_calls);
+        let (budget, clamped) =
+            Budget::with_appver_calls(requested).clamped_to(self.config.max_calls);
+        let verifier = AbonnVerifier::default().with_pool(Arc::clone(&self.pool));
+        let (result, certificate) = verifier.verify_with_certificate(&problem, &budget);
+        self.appver_calls_total += result.stats.appver_calls;
+
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("id", req.id.clone()),
+            ("status", Value::String("ok".into())),
+        ];
+        let mut audited = false;
+        match &result.verdict {
+            Verdict::Verified => {
+                let cert = certificate.expect("verified runs carry a certificate");
+                if req.audit {
+                    if let Err(e) = audit_certificate(&cert, &problem) {
+                        // A fresh certificate failing its own audit is an
+                        // engine bug; surface it rather than caching it.
+                        return error_line(
+                            &req.id,
+                            &format!("certificate failed audit: {e}"),
+                        );
+                    }
+                    audited = true;
+                }
+                self.store.insert(
+                    plan.family,
+                    plan.epsilon,
+                    CachedVerdict::Unsat { certificate: cert },
+                );
+                fields.push(("verdict", Value::String("verified".into())));
+            }
+            Verdict::Falsified(witness) => {
+                self.store.insert(
+                    plan.family,
+                    plan.epsilon,
+                    CachedVerdict::Sat {
+                        witness: witness.clone(),
+                    },
+                );
+                fields.push(("verdict", Value::String("falsified".into())));
+                fields.push(("witness", float_array(witness)));
+            }
+            Verdict::Timeout => {
+                // Budget exhaustion is not a fact about the problem; it is
+                // never cached.
+                fields.push(("verdict", Value::String("timeout".into())));
+            }
+        }
+        fields.push(("store", Value::String("miss".into())));
+        fields.push(("appver_calls", uint(result.stats.appver_calls)));
+        fields.push(("nodes_visited", uint(result.stats.nodes_visited)));
+        fields.push(("budget_calls", uint(budget.max_appver_calls)));
+        fields.push(("clamped", Value::Bool(clamped)));
+        if audited {
+            fields.push(("audit", Value::String("passed".into())));
+        }
+        render(&fields)
+    }
+
+    fn stats_response(&self, id: &Value) -> String {
+        let mut fields = vec![
+            ("id", id.clone()),
+            ("status", Value::String("ok".into())),
+        ];
+        fields.extend(self.stats_fields());
+        render(&fields)
+    }
+
+    /// Counter snapshot as a standalone JSON value (the `--store-stats`
+    /// artifact).
+    #[must_use]
+    pub fn stats_json(&self) -> Value {
+        obj(self.stats_fields())
+    }
+
+    fn stats_fields(&self) -> Vec<(&'static str, Value)> {
+        let sc = self.store.counters();
+        let mc = self.models.counters();
+        vec![
+            ("queries", uint(self.queries)),
+            ("appver_calls_total", uint(self.appver_calls_total)),
+            (
+                "store",
+                obj(vec![
+                    ("families", uint(self.store.num_families())),
+                    ("entries", uint(self.store.num_entries())),
+                    ("exact_hits", uint(sc.exact_hits)),
+                    ("reuse_unsat", uint(sc.reuse_unsat)),
+                    ("reuse_sat", uint(sc.reuse_sat)),
+                    ("misses", uint(sc.misses)),
+                    ("inserts", uint(sc.inserts)),
+                ]),
+            ),
+            (
+                "models",
+                obj(vec![
+                    ("cached", uint(self.models.len())),
+                    ("hits", uint(mc.hits)),
+                    ("misses", uint(mc.misses)),
+                    ("evictions", uint(mc.evictions)),
+                ]),
+            ),
+        ]
+    }
+}
+
+fn push_store_fields(
+    fields: &mut Vec<(&str, Value)>,
+    kind: HitKind,
+    source_eps: f64,
+    monotone: bool,
+) {
+    fields.push(("store", Value::String(kind.as_str().into())));
+    if monotone && kind != HitKind::Exact {
+        fields.push(("source_eps", num(source_eps)));
+    }
+}
+
+fn render(fields: &[(&str, Value)]) -> String {
+    serde_json::to_string(&obj(fields.to_vec())).expect("value tree serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abonn_nn::{Layer, Network, Shape};
+    use abonn_tensor::Matrix;
+    use abonn_vnnlib::write_robustness;
+
+    fn demo_net() -> Network {
+        // 2 → ReLU(4) → 3, small enough to verify in a handful of calls.
+        Network::new(
+            Shape::Flat(2),
+            vec![
+                Layer::dense(
+                    Matrix::from_rows(&[
+                        &[1.0, 0.5],
+                        &[-0.5, 1.0],
+                        &[0.8, -1.0],
+                        &[-1.0, -0.3],
+                    ]),
+                    vec![0.1, -0.2, 0.0, 0.3],
+                ),
+                Layer::relu(),
+                Layer::dense(
+                    Matrix::from_rows(&[
+                        &[1.0, 0.2, -0.3, 0.1],
+                        &[-0.4, 1.1, 0.2, -0.2],
+                        &[0.3, -0.5, 0.9, 0.4],
+                    ]),
+                    vec![0.05, 0.0, -0.05],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn verify_line(id: u64, model_json: &str, center: &[f64], eps: f64, label: usize) -> String {
+        let prop = write_robustness(center, eps, label, 3);
+        let center_txt = center
+            .iter()
+            .map(|c| format!("{c:?}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"id\":{id},\"cmd\":\"verify\",\"model\":{model_json},\
+             \"property\":{},\"epsilon\":{eps:?},\"center\":[{center_txt}],\
+             \"calls\":3000,\"audit\":true}}",
+            serde_json::to_string(&prop).unwrap()
+        )
+    }
+
+    #[test]
+    fn session_hits_reuse_and_stays_deterministic() {
+        let model_json = abonn_nn::io::to_json(&demo_net()).unwrap();
+        let center = [0.6, 0.4];
+
+        let mut transcripts = Vec::new();
+        for threads in [1, 4] {
+            let mut server = Server::new(ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            });
+            let mut out = Vec::new();
+            let lines = [
+                verify_line(1, &model_json, &center, 0.02, 0),
+                verify_line(2, &model_json, &center, 0.02, 0), // exact repeat
+                verify_line(3, &model_json, &center, 0.01, 0), // dominated by #1
+            ];
+            for line in &lines {
+                let resp = server.handle_line(line).unwrap();
+                out.push(resp);
+            }
+            transcripts.push(out.join("\n"));
+        }
+        assert_eq!(
+            transcripts[0], transcripts[1],
+            "byte-identical across thread counts"
+        );
+        let t = &transcripts[0];
+        assert!(t.contains("\"store\":\"miss\""));
+        assert!(t.contains("\"store\":\"exact\""));
+        assert!(t.contains("\"store\":\"reuse-unsat\""));
+        // Hits cost zero engine calls.
+        let hits: Vec<&str> = t
+            .lines()
+            .filter(|l| !l.contains("\"store\":\"miss\""))
+            .collect();
+        assert_eq!(hits.len(), 2);
+        for hit in hits {
+            assert!(hit.contains("\"appver_calls\":0"), "hit line: {hit}");
+            assert!(hit.contains("\"audit\":\"passed\""), "hit line: {hit}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_and_garbage_are_handled() {
+        let mut server = Server::new(ServerConfig::default());
+        assert!(server.handle_line("   ").is_none());
+        let resp = server.handle_line("{broken").unwrap();
+        assert!(resp.contains("\"status\":\"error\""));
+        let resp = server
+            .handle_line(r#"{"cmd":"verify","model":"nope.json","property":"(p)"}"#)
+            .unwrap();
+        assert!(resp.contains("unknown model"), "got: {resp}");
+    }
+
+    #[test]
+    fn stats_reflect_the_session() {
+        let model_json = abonn_nn::io::to_json(&demo_net()).unwrap();
+        let mut server = Server::new(ServerConfig::default());
+        let line = verify_line(1, &model_json, &[0.6, 0.4], 0.02, 0);
+        server.handle_line(&line).unwrap();
+        server.handle_line(&line).unwrap();
+        let stats = server.handle_line(r#"{"id":9,"cmd":"stats"}"#).unwrap();
+        assert!(stats.contains("\"queries\":2"), "got: {stats}");
+        assert!(stats.contains("\"exact_hits\":1"), "got: {stats}");
+        let artifact = serde_json::to_string(&server.stats_json()).unwrap();
+        assert!(artifact.contains("\"inserts\":1"), "got: {artifact}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Content-addressed result store with ε-monotonic reuse.
+//!
+//! Entries are grouped into *families*: queries that differ only in the
+//! perturbation radius ε (same model, center, label, adversarial set,
+//! engine config). Within a family, conclusive verdicts form a lattice:
+//!
+//! * UNSAT (verified) at ε answers every ε′ ≤ ε — the clamped L∞ balls
+//!   nest, so a proof for the larger region covers the smaller one.
+//! * SAT (falsified) at ε answers every ε′ ≥ ε — the witness lies inside
+//!   the smaller ball, hence inside every larger one. The server still
+//!   replays the witness against the query's own region before serving.
+//!
+//! Only conclusive verdicts are stored: `Verified` and `Falsified` are
+//! budget-independent mathematical facts, while `Timeout` merely says a
+//! particular budget ran dry and would poison reuse.
+
+use abonn_core::Certificate;
+use std::collections::BTreeMap;
+
+/// A stored conclusive verdict.
+#[derive(Debug, Clone)]
+pub enum CachedVerdict {
+    /// Verified: the certificate the engine produced, kept so every cache
+    /// hit can be independently re-audited.
+    Unsat {
+        /// The complete branch-tree proof.
+        certificate: Certificate,
+    },
+    /// Falsified: the concrete counterexample.
+    Sat {
+        /// The witness input.
+        witness: Vec<f64>,
+    },
+}
+
+/// One lattice point: a conclusive verdict established at a radius.
+#[derive(Debug, Clone)]
+pub struct CachedEntry {
+    /// The radius the verdict was established at.
+    pub epsilon: f64,
+    /// The verdict and its evidence.
+    pub verdict: CachedVerdict,
+}
+
+/// How a lookup was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitKind {
+    /// Same family, same ε (bit-exact).
+    Exact,
+    /// Served from an UNSAT entry at a larger or equal radius.
+    ReuseUnsat,
+    /// Served from a SAT entry at a smaller or equal radius.
+    ReuseSat,
+}
+
+impl HitKind {
+    /// Wire label for the `store` response field.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HitKind::Exact => "exact",
+            HitKind::ReuseUnsat => "reuse-unsat",
+            HitKind::ReuseSat => "reuse-sat",
+        }
+    }
+}
+
+/// The ε-lattice of one family: entries sorted by radius.
+#[derive(Debug, Clone, Default)]
+pub struct EpsLattice {
+    entries: Vec<CachedEntry>,
+}
+
+impl EpsLattice {
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the lattice is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a conclusive verdict at `epsilon`. A bit-exact duplicate
+    /// radius keeps the existing entry (first proof wins — re-inserting
+    /// cannot flip a verdict, since both were sound).
+    pub fn insert(&mut self, epsilon: f64, verdict: CachedVerdict) -> bool {
+        match self
+            .entries
+            .binary_search_by(|e| e.epsilon.total_cmp(&epsilon))
+        {
+            Ok(_) => false,
+            Err(pos) => {
+                self.entries.insert(pos, CachedEntry { epsilon, verdict });
+                true
+            }
+        }
+    }
+
+    /// Looks up the best entry answering a query at `epsilon`.
+    ///
+    /// Preference order: bit-exact radius, then the smallest dominating
+    /// UNSAT (ε′ ≥ ε), then the largest dominated SAT (ε′ ≤ ε). UNSAT
+    /// wins over SAT when both apply because serving it needs no replay;
+    /// with sound inserts the two can never genuinely conflict.
+    #[must_use]
+    pub fn lookup(&self, epsilon: f64) -> Option<(HitKind, &CachedEntry)> {
+        let split = match self
+            .entries
+            .binary_search_by(|e| e.epsilon.total_cmp(&epsilon))
+        {
+            Ok(i) => return Some((HitKind::Exact, &self.entries[i])),
+            Err(i) => i,
+        };
+        // Smallest UNSAT at a radius above the query.
+        if let Some(e) = self.entries[split..]
+            .iter()
+            .find(|e| matches!(e.verdict, CachedVerdict::Unsat { .. }))
+        {
+            return Some((HitKind::ReuseUnsat, e));
+        }
+        // Largest SAT at a radius below the query.
+        if let Some(e) = self.entries[..split]
+            .iter()
+            .rev()
+            .find(|e| matches!(e.verdict, CachedVerdict::Sat { .. }))
+        {
+            return Some((HitKind::ReuseSat, e));
+        }
+        None
+    }
+
+    /// Iterates entries in increasing-ε order.
+    pub fn entries(&self) -> impl Iterator<Item = &CachedEntry> {
+        self.entries.iter()
+    }
+}
+
+/// Store hit/miss counters, serialised into the stats artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Bit-exact radius hits.
+    pub exact_hits: usize,
+    /// Queries answered by a dominating UNSAT entry.
+    pub reuse_unsat: usize,
+    /// Queries answered by a dominated SAT entry.
+    pub reuse_sat: usize,
+    /// Queries that fell through to the engine.
+    pub misses: usize,
+    /// Conclusive verdicts inserted.
+    pub inserts: usize,
+}
+
+/// The content-addressed result store: family key → ε-lattice.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    families: BTreeMap<u64, EpsLattice>,
+    counters: StoreCounters,
+}
+
+impl ResultStore {
+    /// Fresh empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `(family, epsilon)`, cloning the matched entry so the
+    /// caller can replay/audit it without holding a borrow.
+    pub fn lookup(&mut self, family: u64, epsilon: f64) -> Option<(HitKind, CachedEntry)> {
+        let hit = self
+            .families
+            .get(&family)
+            .and_then(|l| l.lookup(epsilon))
+            .map(|(k, e)| (k, e.clone()));
+        match hit {
+            Some((HitKind::Exact, _)) => self.counters.exact_hits += 1,
+            Some((HitKind::ReuseUnsat, _)) => self.counters.reuse_unsat += 1,
+            Some((HitKind::ReuseSat, _)) => self.counters.reuse_sat += 1,
+            None => self.counters.misses += 1,
+        }
+        hit
+    }
+
+    /// Records a fresh conclusive verdict.
+    pub fn insert(&mut self, family: u64, epsilon: f64, verdict: CachedVerdict) {
+        if self.families.entry(family).or_default().insert(epsilon, verdict) {
+            self.counters.inserts += 1;
+        }
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// Number of distinct families.
+    #[must_use]
+    pub fn num_families(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Total entries across all families.
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.families.values().map(EpsLattice::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sat(w: &[f64]) -> CachedVerdict {
+        CachedVerdict::Sat {
+            witness: w.to_vec(),
+        }
+    }
+
+    fn unsat() -> CachedVerdict {
+        CachedVerdict::Unsat {
+            certificate: Certificate::new(abonn_core::ProofNode::root_leaf()),
+        }
+    }
+
+    #[test]
+    fn exact_hit_beats_reuse() {
+        let mut l = EpsLattice::default();
+        l.insert(0.1, unsat());
+        l.insert(0.2, unsat());
+        let (kind, e) = l.lookup(0.1).unwrap();
+        assert_eq!(kind, HitKind::Exact);
+        assert_eq!(e.epsilon, 0.1);
+    }
+
+    #[test]
+    fn unsat_dominates_downward_sat_dominates_upward() {
+        let mut l = EpsLattice::default();
+        l.insert(0.2, unsat());
+        l.insert(0.5, sat(&[0.0]));
+        // Below the UNSAT radius: covered by it.
+        let (kind, e) = l.lookup(0.05).unwrap();
+        assert_eq!(kind, HitKind::ReuseUnsat);
+        assert_eq!(e.epsilon, 0.2);
+        // Above the SAT radius: covered by the witness.
+        let (kind, e) = l.lookup(0.9).unwrap();
+        assert_eq!(kind, HitKind::ReuseSat);
+        assert_eq!(e.epsilon, 0.5);
+        // Strictly between: no reuse applies.
+        assert!(l.lookup(0.3).is_none());
+    }
+
+    #[test]
+    fn tightest_dominating_entry_is_chosen() {
+        let mut l = EpsLattice::default();
+        l.insert(0.3, unsat());
+        l.insert(0.6, unsat());
+        l.insert(0.05, sat(&[0.0]));
+        l.insert(0.01, sat(&[1.0]));
+        let (_, e) = l.lookup(0.2).unwrap();
+        assert_eq!(e.epsilon, 0.3, "smallest dominating UNSAT");
+        // SAT reuse picks the largest dominated radius... after UNSAT
+        // entries are exhausted above the query.
+        let mut s = EpsLattice::default();
+        s.insert(0.05, sat(&[0.0]));
+        s.insert(0.01, sat(&[1.0]));
+        let (kind, e) = s.lookup(0.2).unwrap();
+        assert_eq!(kind, HitKind::ReuseSat);
+        assert_eq!(e.epsilon, 0.05, "largest dominated SAT");
+    }
+
+    #[test]
+    fn unsat_preferred_when_both_apply() {
+        let mut l = EpsLattice::default();
+        l.insert(0.1, sat(&[0.0]));
+        l.insert(0.5, unsat());
+        // 0.3 is above the SAT and below the UNSAT; both apply, UNSAT
+        // needs no replay so it wins.
+        let (kind, _) = l.lookup(0.3).unwrap();
+        assert_eq!(kind, HitKind::ReuseUnsat);
+    }
+
+    #[test]
+    fn store_counts_every_outcome() {
+        let mut s = ResultStore::new();
+        assert!(s.lookup(1, 0.1).is_none());
+        s.insert(1, 0.1, unsat());
+        s.insert(1, 0.1, unsat()); // duplicate radius: ignored
+        assert!(s.lookup(1, 0.1).is_some());
+        assert!(s.lookup(1, 0.05).is_some());
+        assert!(s.lookup(2, 0.1).is_none());
+        let c = s.counters();
+        assert_eq!(
+            (c.exact_hits, c.reuse_unsat, c.reuse_sat, c.misses, c.inserts),
+            (1, 1, 0, 2, 1)
+        );
+        assert_eq!(s.num_families(), 1);
+        assert_eq!(s.num_entries(), 1);
+    }
+}

@@ -38,6 +38,7 @@ mod property;
 mod sexpr;
 mod writer;
 
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_bytes, ParseError};
+pub use sexpr::MAX_DEPTH;
 pub use property::{LinearTerm, OutputAtom, Property, Relation};
 pub use writer::{write_property, write_robustness};

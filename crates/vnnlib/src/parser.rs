@@ -4,7 +4,7 @@ use crate::property::{LinearTerm, OutputAtom, Property, Relation};
 use crate::sexpr::{read_all, Sexpr, SexprError};
 use std::fmt;
 
-/// Error from [`parse`].
+/// Error from [`parse`] / [`parse_bytes`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {
     /// Tokenizer/reader error.
@@ -13,6 +13,8 @@ pub enum ParseError {
     Unsupported(String),
     /// Input variables lack a finite box.
     IncompleteInputBox(usize),
+    /// The wire bytes are not valid UTF-8 (byte offset of the defect).
+    NotUtf8(usize),
 }
 
 impl fmt::Display for ParseError {
@@ -22,6 +24,9 @@ impl fmt::Display for ParseError {
             ParseError::Unsupported(msg) => write!(f, "unsupported construct: {msg}"),
             ParseError::IncompleteInputBox(i) => {
                 write!(f, "input X_{i} is missing a lower or upper bound")
+            }
+            ParseError::NotUtf8(offset) => {
+                write!(f, "property bytes are not valid UTF-8 at byte {offset}")
             }
         }
     }
@@ -171,6 +176,25 @@ fn to_outputs(e: Expr) -> Result<LinearTerm, ParseError> {
 /// Returns [`ParseError`] for syntax errors, constructs outside the
 /// supported subset, or input variables without a complete box.
 pub fn parse(text: &str) -> Result<Property, ParseError> {
+    parse_checked(text)
+}
+
+/// Wire-level entry point: parses raw bytes as received from a client.
+///
+/// Every malformed input — invalid UTF-8, unbalanced or absurdly nested
+/// parentheses, unsupported constructs, incomplete boxes — comes back as
+/// a [`ParseError`]; no input can panic or overflow the stack.
+///
+/// # Errors
+///
+/// [`ParseError::NotUtf8`] for non-UTF-8 bytes, otherwise as [`parse`].
+pub fn parse_bytes(bytes: &[u8]) -> Result<Property, ParseError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| ParseError::NotUtf8(e.valid_up_to()))?;
+    parse_checked(text)
+}
+
+fn parse_checked(text: &str) -> Result<Property, ParseError> {
     let exprs = read_all(text)?;
     let mut n_inputs = 0usize;
     let mut n_outputs = 0usize;

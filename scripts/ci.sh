@@ -67,6 +67,18 @@ outfz=$(mktemp -d)
 cargo run --release -q -p abonn-bench --bin fuzz -- \
     --seed 2025 --count 25 --out-dir "$outfz"
 
+echo "== soundness: served-vs-batch differential fuzz smoke =="
+cargo run --release -q -p abonn-bench --bin fuzz -- --served --seed 2025 --count 12
+
+echo "== serve: committed session must reproduce the golden transcript byte-for-byte =="
+outsv=$(mktemp -d)
+cargo run --release -q -p abonn-bench --bin serve -- \
+    --threads 2 --store-stats target/experiments/serve-store.json \
+    < scripts/serve-session.jsonl > "$outsv/serve-session.out" 2>/dev/null
+diff scripts/serve-session.golden "$outsv/serve-session.out"
+test -s target/experiments/serve-store.json
+rm -rf "$outsv"
+
 # The LP replay over the 3072-input conv models costs minutes per
 # certificate, so CI audits the MNIST models; drop --models for the rest.
 echo "== soundness: certificate audit over the MNIST tier-1 suite =="
