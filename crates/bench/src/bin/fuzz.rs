@@ -58,13 +58,14 @@ fn served(seed: u64, count: u64) -> ExitCode {
     eprintln!("served-vs-batch fuzzing {count} cases from seed {seed}");
     let outcome = abonn_serve::run_served_campaign(seed, count);
     println!(
-        "{} cases: {} verified, {} falsified, {} timeout; {} store hits; \
-         {} served-UNSAT audits passed; {} mismatches",
+        "{} cases: {} verified, {} falsified, {} timeout; {} store hits \
+         ({} cross-center); {} served-UNSAT audits passed; {} mismatches",
         outcome.cases,
         outcome.verified,
         outcome.falsified,
         outcome.timeout,
         outcome.store_hits,
+        outcome.cross_hits,
         outcome.audits_passed,
         outcome.mismatches.len()
     );

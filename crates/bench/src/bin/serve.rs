@@ -2,36 +2,51 @@
 //!
 //! ```sh
 //! cargo run --release -p abonn-bench --bin serve -- \
-//!     [--threads N] [--max-calls N] [--default-calls N] \
+//!     [--threads N] [--batch N] [--max-calls N] [--default-calls N] \
 //!     [--model-dir DIR] [--model-cache N] [--audit-stored] \
+//!     [--store-path FILE] [--store-cap N] \
 //!     [--store-stats FILE] [--tcp ADDR]
 //! ```
 //!
 //! Reads one JSON request per line from stdin (or, with `--tcp`, from
-//! sequentially accepted TCP connections) and writes one JSON response
+//! concurrently served TCP connections) and writes one JSON response
 //! per line. The response stream is byte-identical for any `--threads`
-//! value: queries run sequentially, parallelism lives inside the engine.
+//! and `--batch` value: wave-mates only precompute work the in-order
+//! flush would have done anyway.
+//!
+//! With `--store-path` the ε-lattice store is loaded from a snapshot at
+//! startup (a missing file means a fresh store; a malformed one is a
+//! structured error and exit 2) and written back atomically at EOF and
+//! after every TCP connection, so proofs survive daemon restarts.
+//! `--store-cap` bounds the store to N cached entries with
+//! deterministic whole-family LRU eviction.
+//!
 //! At EOF the store/model counters are written as JSON to
-//! `--store-stats` when given. Exits 0 on EOF, 2 on usage errors.
+//! `--store-stats` when given. Exits 0 on EOF, 2 on usage/snapshot
+//! errors.
 
-use abonn_serve::{Server, ServerConfig};
+use abonn_serve::{ResultStore, Server, ServerConfig};
 use std::io::{BufReader, Write as _};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 struct Options {
     config: ServerConfig,
+    store_path: Option<PathBuf>,
     store_stats: Option<PathBuf>,
     tcp: Option<String>,
 }
 
-const USAGE: &str = "usage: serve [--threads N] [--max-calls N] [--default-calls N] \
-                     [--model-dir DIR] [--model-cache N] [--audit-stored] \
+const USAGE: &str = "usage: serve [--threads N] [--batch N] [--max-calls N] \
+                     [--default-calls N] [--model-dir DIR] [--model-cache N] \
+                     [--audit-stored] [--store-path FILE] [--store-cap N] \
                      [--store-stats FILE] [--tcp ADDR]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         config: ServerConfig::default(),
+        store_path: None,
         store_stats: None,
         tcp: None,
     };
@@ -42,6 +57,9 @@ fn parse_args() -> Result<Options, String> {
             "--threads" => {
                 opts.config.threads =
                     value()?.parse().map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--batch" => {
+                opts.config.batch = value()?.parse().map_err(|e| format!("bad --batch: {e}"))?;
             }
             "--max-calls" => {
                 opts.config.max_calls =
@@ -59,6 +77,14 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --model-cache: {e}"))?;
             }
             "--audit-stored" => opts.config.audit_stored = true,
+            "--store-path" => opts.store_path = Some(PathBuf::from(value()?)),
+            "--store-cap" => {
+                opts.config.store_cap = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --store-cap: {e}"))?,
+                );
+            }
             "--store-stats" => opts.store_stats = Some(PathBuf::from(value()?)),
             "--tcp" => opts.tcp = Some(value()?),
             "--help" | "-h" => return Err(USAGE.into()),
@@ -80,24 +106,50 @@ fn write_stats(server: &Server, path: &PathBuf) {
     }
 }
 
-fn serve_tcp(server: &mut Server, addr: &str) -> std::io::Result<()> {
+fn save_store(server: &Server, path: &Path) {
+    match server.store().write_snapshot(path) {
+        Ok(()) => eprintln!("store snapshot written to {}", path.display()),
+        Err(e) => eprintln!("cannot write snapshot {}: {e}", path.display()),
+    }
+}
+
+fn serve_tcp(
+    server: Arc<Mutex<Server>>,
+    addr: &str,
+    store_path: Option<&PathBuf>,
+) -> std::io::Result<()> {
     let listener = std::net::TcpListener::bind(addr)?;
-    eprintln!(
-        "listening on {} (one connection at a time; Ctrl-C to stop)",
-        listener.local_addr()?
-    );
+    eprintln!("listening on {} (Ctrl-C to stop)", listener.local_addr()?);
     for stream in listener.incoming() {
         let stream = stream?;
         let peer = stream.peer_addr()?;
         eprintln!("connection from {peer}");
-        let reader = BufReader::new(stream.try_clone()?);
-        // The store and model cache persist across connections: proofs
-        // established for one client answer the next client's queries.
-        if let Err(e) = server.run(reader, stream) {
-            eprintln!("connection {peer} ended with error: {e}");
-        } else {
-            eprintln!("connection {peer} closed");
-        }
+        // The store and model cache persist across connections and are
+        // shared between concurrent clients: proofs established for one
+        // client answer every other client's dominated queries. Each
+        // connection gets its own thread; the server lock is held per
+        // request wave, never while a connection is idle.
+        let server = Arc::clone(&server);
+        let store_path = store_path.cloned();
+        std::thread::spawn(move || {
+            let mut reader = match stream.try_clone() {
+                Ok(s) => BufReader::new(s),
+                Err(e) => {
+                    eprintln!("connection {peer} failed: {e}");
+                    return;
+                }
+            };
+            let mut writer = stream;
+            match Server::run_shared(&server, &mut reader, &mut writer) {
+                Ok(()) => eprintln!("connection {peer} closed"),
+                Err(e) => eprintln!("connection {peer} ended with error: {e}"),
+            }
+            if let Some(path) = &store_path {
+                if let Ok(guard) = server.lock() {
+                    save_store(&guard, path);
+                }
+            }
+        });
     }
     Ok(())
 }
@@ -111,20 +163,59 @@ fn main() -> ExitCode {
         }
     };
     let mut server = Server::new(opts.config);
+    if let Some(path) = &opts.store_path {
+        if path.exists() {
+            match ResultStore::load_snapshot(path, server.store().capacity()) {
+                Ok((store, report)) => {
+                    eprintln!(
+                        "store snapshot loaded from {}: {} families, {} entries, \
+                         {} witnesses (certificates re-audit before first reuse)",
+                        path.display(),
+                        report.families,
+                        report.entries,
+                        report.witnesses
+                    );
+                    server.load_store(store);
+                }
+                Err(e) => {
+                    eprintln!("cannot load snapshot {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
     let result = match &opts.tcp {
-        Some(addr) => serve_tcp(&mut server, addr),
+        Some(addr) => {
+            let shared = Arc::new(Mutex::new(server));
+            let r = serve_tcp(Arc::clone(&shared), addr, opts.store_path.as_ref());
+            // The accept loop only returns on listener errors; stats and
+            // snapshots for the TCP path are written per connection.
+            match shared.lock() {
+                Ok(guard) => {
+                    if let Some(path) = &opts.store_stats {
+                        write_stats(&guard, path);
+                    }
+                }
+                Err(_) => eprintln!("server lock poisoned; skipping final stats"),
+            }
+            r
+        }
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
-            let r = server.run(stdin.lock(), &mut out);
+            let mut input = BufReader::new(stdin.lock());
+            let r = server.run(&mut input, &mut out);
             let _ = out.flush();
+            if let Some(path) = &opts.store_path {
+                save_store(&server, path);
+            }
+            if let Some(path) = &opts.store_stats {
+                write_stats(&server, path);
+            }
             r
         }
     };
-    if let Some(path) = &opts.store_stats {
-        write_stats(&server, path);
-    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -149,6 +149,47 @@ pub fn audit_partial(
     audit(cert, problem, true)
 }
 
+/// What the structural half of an audit established.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StructureReport {
+    /// Closed terminals ([`ProofNode::Leaf`]) in the certificate.
+    pub closed: usize,
+    /// Open obligations ([`ProofNode::Open`]) in the certificate.
+    pub open: usize,
+}
+
+/// Structural audit of a certificate *alone* — no network, no LP.
+///
+/// Validates everything that can be checked without a concrete problem:
+/// recorded terminal provenance must agree with each branch path, no
+/// neuron may be split twice, and the flat collection of recorded split
+/// sets must partition the root region exactly. This is the cheap half
+/// of [`audit_certificate`]; callers loading certificates from untrusted
+/// or bit-rotted storage run it eagerly and defer the per-leaf
+/// re-verification (which needs the model and property) to first reuse.
+///
+/// # Errors
+///
+/// Any structural [`AuditError`] (`SplitMismatch`, `DuplicateSplit`,
+/// `Overlap`, `NonCovering`). Neuron range checks need the network and
+/// are not performed here.
+pub fn audit_structure(cert: &Certificate) -> Result<StructureReport, AuditError> {
+    walk(cert.root(), &SplitSet::new(), None)?;
+    let terminals = cert.terminals();
+    let sets: Vec<Vec<(NeuronId, SplitSign)>> =
+        terminals.iter().map(|(s, _)| normalize(s)).collect();
+    exact_cover(&sets)?;
+    let mut report = StructureReport::default();
+    for (_, closed) in &terminals {
+        if *closed {
+            report.closed += 1;
+        } else {
+            report.open += 1;
+        }
+    }
+    Ok(report)
+}
+
 fn audit(
     cert: &Certificate,
     problem: &RobustnessProblem,
@@ -157,7 +198,7 @@ fn audit(
     let layer_sizes = problem.margin_net().relu_layer_sizes();
     // 1. Tree-walk consistency: paths vs recorded provenance, duplicate
     //    splits, neuron validity.
-    walk(cert.root(), &SplitSet::new(), &layer_sizes)?;
+    walk(cert.root(), &SplitSet::new(), Some(&layer_sizes))?;
     // 2. The flat recorded collection partitions the region exactly.
     let terminals = cert.terminals();
     let sets: Vec<Vec<(NeuronId, SplitSign)>> =
@@ -214,7 +255,11 @@ fn audit(
 /// Recursive tree walk: rejects duplicate splits along a path, invalid
 /// neurons, and terminals whose recorded provenance disagrees with the
 /// path.
-fn walk(node: &ProofNode, path: &SplitSet, layer_sizes: &[usize]) -> Result<(), AuditError> {
+fn walk(
+    node: &ProofNode,
+    path: &SplitSet,
+    layer_sizes: Option<&[usize]>,
+) -> Result<(), AuditError> {
     match node {
         ProofNode::Leaf { splits } | ProofNode::Open { splits } => {
             for &(neuron, _) in splits {
@@ -244,7 +289,11 @@ fn walk(node: &ProofNode, path: &SplitSet, layer_sizes: &[usize]) -> Result<(), 
     }
 }
 
-fn check_neuron(neuron: NeuronId, layer_sizes: &[usize]) -> Result<(), AuditError> {
+fn check_neuron(neuron: NeuronId, layer_sizes: Option<&[usize]>) -> Result<(), AuditError> {
+    let Some(layer_sizes) = layer_sizes else {
+        // Structure-only audits have no network to range-check against.
+        return Ok(());
+    };
     if neuron.layer >= layer_sizes.len() || neuron.index >= layer_sizes[neuron.layer] {
         return Err(AuditError::InvalidNeuron { neuron });
     }
@@ -453,6 +502,40 @@ mod tests {
         });
         assert!(matches!(
             audit_certificate(&cert, &robust_problem()),
+            Err(AuditError::InvalidNeuron { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_audit_needs_no_problem() {
+        let a = n(0, 0);
+        let good = Certificate::new(ProofNode::Branch {
+            neuron: a,
+            pos: Box::new(ProofNode::leaf(vec![(a, SplitSign::Pos)])),
+            neg: Box::new(ProofNode::open(vec![(a, SplitSign::Neg)])),
+        });
+        let report = audit_structure(&good).unwrap();
+        assert_eq!((report.closed, report.open), (1, 1));
+        // Swapped phases: provenance disagrees with the path.
+        let bad = Certificate::new(ProofNode::Branch {
+            neuron: a,
+            pos: Box::new(ProofNode::leaf(vec![(a, SplitSign::Neg)])),
+            neg: Box::new(ProofNode::leaf(vec![(a, SplitSign::Pos)])),
+        });
+        assert!(matches!(
+            audit_structure(&bad),
+            Err(AuditError::SplitMismatch { .. })
+        ));
+        // A leaf beyond this tiny network's neurons still passes the
+        // structural audit — range checks need the network.
+        let out_of_range = Certificate::new(ProofNode::Branch {
+            neuron: n(7, 0),
+            pos: Box::new(ProofNode::leaf(vec![(n(7, 0), SplitSign::Pos)])),
+            neg: Box::new(ProofNode::leaf(vec![(n(7, 0), SplitSign::Neg)])),
+        });
+        assert!(audit_structure(&out_of_range).is_ok());
+        assert!(matches!(
+            audit_certificate(&out_of_range, &robust_problem()),
             Err(AuditError::InvalidNeuron { .. })
         ));
     }

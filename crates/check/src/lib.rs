@@ -37,7 +37,9 @@ pub mod interval;
 pub mod leaf;
 pub mod replay;
 
-pub use audit::{audit_certificate, audit_partial, AuditError, AuditReport};
+pub use audit::{
+    audit_certificate, audit_partial, audit_structure, AuditError, AuditReport, StructureReport,
+};
 pub use fuzz::{generate_case, minimize, run_campaign, run_case, CampaignOutcome, FuzzCase,
     FuzzFailure};
 pub use interval::{propagate, IntervalBounds};

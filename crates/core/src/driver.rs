@@ -80,6 +80,26 @@ impl Budget {
         }
         (self, clamped)
     }
+
+    /// Input-order budget slicing for a wave of concurrently admitted
+    /// queries: position `i` of the result is the admitted budget (and
+    /// clamp flag) for the `i`-th requested call count, each capped at
+    /// `cap` independently.
+    ///
+    /// The slices are a pure function of each request alone — never of
+    /// the wave's size or composition — which is the load-bearing
+    /// property for a scheduler that must answer identically however the
+    /// request stream happens to be chopped into waves: slicing a wave
+    /// equals concatenating the slicings of any partition of it, so the
+    /// admitted budgets (and therefore verdicts and counters) match a
+    /// one-query-at-a-time daemon byte for byte.
+    #[must_use]
+    pub fn admit_slices(requested: &[usize], cap: usize) -> Vec<(Self, bool)> {
+        requested
+            .iter()
+            .map(|&calls| Self::with_appver_calls(calls).clamped_to(cap))
+            .collect()
+    }
 }
 
 impl Default for Budget {
@@ -352,5 +372,42 @@ mod tests {
         let b = Budget::default();
         assert!(b.max_appver_calls > 0);
         assert!(b.wall_limit.is_none());
+    }
+
+    #[test]
+    fn admit_slices_matches_sequential_clamping() {
+        let requested = [10_000, 200, 500, 0];
+        let slices = Budget::admit_slices(&requested, 500);
+        let expected: Vec<(Budget, bool)> = requested
+            .iter()
+            .map(|&c| Budget::with_appver_calls(c).clamped_to(500))
+            .collect();
+        assert_eq!(slices.len(), 4);
+        for ((got, got_clamped), (want, want_clamped)) in slices.iter().zip(&expected) {
+            assert_eq!(got.max_appver_calls, want.max_appver_calls);
+            assert_eq!(got_clamped, want_clamped);
+        }
+        assert_eq!(slices[0].0.max_appver_calls, 500);
+        assert!(slices[0].1);
+        assert!(!slices[1].1);
+    }
+
+    #[test]
+    fn admit_slices_is_partition_invariant() {
+        // Slicing one wave equals concatenating the slicings of any
+        // partition of it — the property the wave scheduler's
+        // byte-identity claim rests on.
+        let requested = [7, 10_000, 3, 999, 42];
+        let whole = Budget::admit_slices(&requested, 100);
+        for cut in 0..=requested.len() {
+            let (a, b) = requested.split_at(cut);
+            let mut parts = Budget::admit_slices(a, 100);
+            parts.extend(Budget::admit_slices(b, 100));
+            assert_eq!(parts.len(), whole.len());
+            for (x, y) in parts.iter().zip(&whole) {
+                assert_eq!(x.0.max_appver_calls, y.0.max_appver_calls);
+                assert_eq!(x.1, y.1);
+            }
+        }
     }
 }

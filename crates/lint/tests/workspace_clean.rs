@@ -51,6 +51,32 @@ fn audited_sites_are_suppressed_not_silent() {
 }
 
 #[test]
+fn daemon_sources_are_covered_by_the_determinism_rules() {
+    // The serve scopes are directory prefixes, so files added to the
+    // daemon (scheduler, persistence) are covered without a rules edit —
+    // this pins that property and the files' existence.
+    let rules = abonn_lint::rules::default_rules();
+    for path in [
+        "crates/serve/src/scheduler.rs",
+        "crates/serve/src/persist.rs",
+        "crates/serve/src/server.rs",
+        "crates/serve/src/store.rs",
+    ] {
+        assert!(
+            workspace_root().join(path).is_file(),
+            "{path} moved; update the daemon determinism scopes"
+        );
+        for rule_name in ["wall-clock-in-engine", "unordered-iteration"] {
+            let rule = rules
+                .iter()
+                .find(|r| r.name == rule_name)
+                .expect("rule exists");
+            assert!(rule.in_scope(path), "{path} must be in scope of {rule_name}");
+        }
+    }
+}
+
+#[test]
 fn json_report_of_workspace_is_stable_and_parseable() {
     let rep = lint_workspace(workspace_root()).expect("scan workspace");
     let a = report::json(&rep);

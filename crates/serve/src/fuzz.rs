@@ -13,6 +13,11 @@
 //! * Dominated queries (ε/2 after UNSAT, 1.5·ε after SAT) are served
 //!   from the lattice with zero engine calls, and a *fresh* engine run
 //!   at the dominated radius agrees whenever it is conclusive.
+//! * Cross-center probes: after a falsified case, a query at a *shifted*
+//!   center whose clamped ball contains the cached witness is served
+//!   `reuse-cross` from the cohort index with zero engine calls, the
+//!   witness replays against the probe's own region, and a fresh engine
+//!   never verifies that region.
 //! * Every store-served UNSAT carries `audit: "passed"` — the
 //!   certificate survived an independent `audit_certificate`.
 //!
@@ -21,6 +26,7 @@
 
 use crate::server::{apply_epsilon_override, Server, ServerConfig};
 use abonn_check::fuzz::generate_case;
+use abonn_check::replay_witness;
 use abonn_core::{AbonnVerifier, Budget, RobustnessProblem, Verdict};
 use abonn_nn::CanonicalNetwork;
 use serde_json::Value;
@@ -39,6 +45,8 @@ pub struct ServedOutcome {
     pub timeout: usize,
     /// Store-served responses observed (exact + reuse).
     pub store_hits: usize,
+    /// Cross-center cohort-index hits observed.
+    pub cross_hits: usize,
     /// Served UNSAT responses whose certificate re-audited.
     pub audits_passed: usize,
     /// Human-readable invariant violations (empty on success).
@@ -330,6 +338,70 @@ pub fn run_served_campaign(seed: u64, count: u64) -> ServedOutcome {
                 third.verdict
             ));
         }
+
+        // Cross-center probe: a query at a *shifted* center whose clamped
+        // ball contains the cached witness must be answered from the
+        // cohort index with zero engine calls.
+        if let (Verdict::Falsified(_), Some(cached)) =
+            (&batch.verdict, first.witness.clone())
+        {
+            let shifted: Vec<f64> = case
+                .input
+                .iter()
+                .map(|&c| if c <= 0.5 { c + 0.01 } else { c - 0.01 })
+                .collect();
+            // Radius: far enough to contain the witness, with slack so
+            // containment is not decided at the boundary bit.
+            let radius = cached
+                .iter()
+                .zip(&shifted)
+                .map(|(w, c)| (w - c).abs())
+                .fold(0.0_f64, f64::max)
+                + 0.01;
+            let probe_text =
+                abonn_vnnlib::write_robustness(&shifted, radius, case.label, classes);
+            let probe_line =
+                request_line(&model_json, &probe_text, &shifted, radius, case.budget_calls);
+            let probe = match server.handle_line(&probe_line).map(|r| parse_response(&r)) {
+                Some(Ok(r)) => r,
+                other => {
+                    fail(format!("cross probe response invalid: {other:?}"));
+                    continue;
+                }
+            };
+            if probe.store != "reuse-cross" || probe.appver_calls != 0 {
+                fail(format!(
+                    "cross probe not served from the cohort index: {}",
+                    probe.raw
+                ));
+                continue;
+            }
+            if probe.verdict != "falsified" || probe.witness.as_ref() != Some(&cached) {
+                fail(format!("cross probe changed the answer: {}", probe.raw));
+            }
+            outcome.store_hits += 1;
+            outcome.cross_hits += 1;
+            // The serve layer replayed before answering; replay once more
+            // here so the harness does not take its word for it.
+            let probe_parsed =
+                abonn_vnnlib::parse(&probe_text).expect("writer output parses");
+            let probe_adjusted = apply_epsilon_override(&probe_parsed, &shifted, radius);
+            if let Err(e) = replay_witness(&network, &probe_adjusted, &cached) {
+                fail(format!("cross-served witness fails replay: {e}"));
+            }
+            // A fresh engine on the probe region must never verify it —
+            // the region provably contains a counterexample.
+            let probe_problem =
+                RobustnessProblem::from_vnnlib_prelowered(&network, &canon, &probe_adjusted)
+                    .expect("probe case is well-formed");
+            let (fresh_probe, _) =
+                AbonnVerifier::default().verify_with_certificate(&probe_problem, &budget);
+            if matches!(fresh_probe.verdict, Verdict::Verified) {
+                fail(format!(
+                    "fresh engine verified the probe region containing witness {cached:?}"
+                ));
+            }
+        }
     }
     outcome
 }
@@ -348,6 +420,10 @@ mod tests {
             outcome.mismatches.join("\n")
         );
         assert!(outcome.store_hits > 0, "repeats must hit the store");
+        assert_eq!(
+            outcome.cross_hits, outcome.falsified,
+            "every falsified case draws one cross-center probe"
+        );
         assert_eq!(
             outcome.verified + outcome.falsified + outcome.timeout,
             outcome.cases

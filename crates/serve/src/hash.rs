@@ -119,6 +119,31 @@ pub fn robustness_family_key(
     h.finish()
 }
 
+/// Key of a robustness *cohort*: everything a family key covers except
+/// the center (and, as always, ε). All families probing the same model
+/// for the same label/adversarial set under one engine configuration
+/// share a cohort, which is the index space for cross-center witness
+/// reuse: a concrete counterexample falsifies *any* query in the cohort
+/// whose clamped L∞ ball contains it, wherever that query is centered.
+#[must_use]
+pub fn robustness_cohort_key(
+    model_hash: u64,
+    label: usize,
+    adversarial: &[usize],
+    config: &str,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("abonn/cohort/robustness/v1");
+    h.write_u64(model_hash);
+    h.write_str(config);
+    h.write_u64(label as u64);
+    h.write_u64(adversarial.len() as u64);
+    for &j in adversarial {
+        h.write_u64(j as u64);
+    }
+    h.finish()
+}
+
 /// Key of an exact-match family: hashes the full property — box bounds
 /// bit-exactly plus the violation structure — so only byte-equivalent
 /// queries share it.
@@ -192,6 +217,24 @@ mod tests {
         assert_ne!(base, robustness_family_key(1, 0, &[2], &[0.5, 0.5], "cfg"));
         assert_ne!(base, robustness_family_key(1, 0, &[1, 2], &[0.5, 0.6], "cfg"));
         assert_ne!(base, robustness_family_key(1, 0, &[1, 2], &[0.5, 0.5], "cfg2"));
+    }
+
+    #[test]
+    fn cohort_keys_ignore_the_center_only() {
+        let base = robustness_cohort_key(1, 0, &[1, 2], "cfg");
+        assert_eq!(base, robustness_cohort_key(1, 0, &[1, 2], "cfg"));
+        // Two families at different centers share the cohort.
+        assert_ne!(
+            robustness_family_key(1, 0, &[1, 2], &[0.1, 0.9], "cfg"),
+            robustness_family_key(1, 0, &[1, 2], &[0.5, 0.5], "cfg")
+        );
+        // ...but everything else still separates.
+        assert_ne!(base, robustness_cohort_key(2, 0, &[1, 2], "cfg"));
+        assert_ne!(base, robustness_cohort_key(1, 1, &[1, 2], "cfg"));
+        assert_ne!(base, robustness_cohort_key(1, 0, &[2], "cfg"));
+        assert_ne!(base, robustness_cohort_key(1, 0, &[1, 2], "cfg2"));
+        // Cohort and family keys live in separate domains.
+        assert_ne!(base, robustness_family_key(1, 0, &[1, 2], &[], "cfg"));
     }
 
     #[test]

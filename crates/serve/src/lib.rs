@@ -18,10 +18,16 @@
 //!   query is answered with zero engine calls.
 //! * [`model_cache`] — deterministic LRU of models lowered to canonical
 //!   form once per content hash.
-//! * [`server`] — the daemon: sequential query processing with
+//! * [`server`] — the daemon: wave-based query processing with
 //!   intra-query parallelism via the engine's `WorkerPool`, call-only
 //!   budgets with admission-control clamping, and responses whose bytes
-//!   are identical across thread counts and machines.
+//!   are identical across thread counts, batch sizes, and machines.
+//! * [`scheduler`] — deterministic multi-query wave scheduling: engine
+//!   misses run concurrently, every observable effect flushes in input
+//!   order, so the response stream is wave-partition invariant.
+//! * [`persist`] — canonical-JSON store snapshots with a versioned,
+//!   checksummed header; a restarted daemon reloads its proofs and
+//!   re-audits every loaded certificate before first reuse.
 //! * [`fuzz`] — the served-vs-batch differential campaign: every served
 //!   answer must match a fresh single-shot run, and every store-served
 //!   UNSAT must survive an independent `audit_certificate`.
@@ -33,13 +39,21 @@
 pub mod fuzz;
 pub mod hash;
 pub mod model_cache;
+pub mod persist;
 pub mod protocol;
+pub mod scheduler;
 pub mod server;
 pub mod store;
 
 pub use fuzz::{run_served_campaign, ServedOutcome};
-pub use hash::{exact_property_key, model_hash, robustness_family_key, StableHasher};
+pub use hash::{
+    exact_property_key, model_hash, robustness_cohort_key, robustness_family_key, StableHasher,
+};
 pub use model_cache::{LoweredModel, ModelCache, ModelCacheCounters};
+pub use persist::{LoadReport, SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 pub use protocol::{parse_request, ModelRef, Request, VerifyRequest};
 pub use server::{apply_epsilon_override, Server, ServerConfig, ENGINE_CONFIG};
-pub use store::{CachedEntry, CachedVerdict, EpsLattice, HitKind, ResultStore, StoreCounters};
+pub use store::{
+    ball_contains, CachedEntry, CachedVerdict, EpsLattice, FamilyMeta, Hit, HitKind, ResultStore,
+    StoreCounters,
+};

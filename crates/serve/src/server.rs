@@ -1,35 +1,41 @@
-//! The verification service: one query in, one response line out.
+//! The verification service: line-delimited JSON queries in, response
+//! lines out, byte-identical across thread counts, batch sizes, and
+//! machines.
 //!
-//! The server processes queries *sequentially* — parallelism lives
-//! inside each query, where the engine's [`WorkerPool`] fans bound
-//! computations out — so the response stream is a pure function of the
-//! request stream: byte-identical across `--threads` settings and
-//! machines. Budgets are call-only (never wall-clock), which is what
-//! makes that claim hold for verdicts too.
+//! Queries are admitted in *waves* (see [`crate::scheduler`]): engine
+//! misses within a wave run concurrently on the shared [`WorkerPool`],
+//! while every observable effect — store counters, recency, inserts,
+//! evictions, model-cache admissions — is applied sequentially in input
+//! order, so the response stream is a pure function of the request
+//! stream. Budgets are call-only (never wall-clock), which is what makes
+//! that claim hold for verdicts too.
 
-use crate::hash::{exact_property_key, robustness_family_key};
+use crate::hash::{exact_property_key, robustness_cohort_key, robustness_family_key};
 use crate::model_cache::{LoweredModel, ModelCache};
-use crate::protocol::{
-    self, error_line, float_array, num, obj, uint, ModelRef, Request, VerifyRequest,
-};
-use crate::store::{CachedEntry, CachedVerdict, HitKind, ResultStore};
+use crate::protocol::{error_line, float_array, num, obj, uint, ModelRef, VerifyRequest};
+use crate::scheduler::{EngineJob, EngineOutcome};
+use crate::store::{CachedVerdict, FamilyMeta, Hit, HitKind, ResultStore};
 use abonn_check::{audit_certificate, replay_witness};
-use abonn_core::{AbonnVerifier, Budget, RobustnessProblem, Verdict, WorkerPool};
+use abonn_core::{RobustnessProblem, Verdict, WorkerPool};
 use abonn_vnnlib::Property;
 use serde_json::Value;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Engine configuration tag baked into every store key: bump it whenever
-/// a change could alter verdicts, and old entries stop matching.
+/// Engine configuration tag baked into every store key and snapshot
+/// header: bump it whenever a change could alter verdicts, and old
+/// entries stop matching (and old snapshots stop loading).
 pub const ENGINE_CONFIG: &str = "abonn/planet/v1";
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads for intra-query parallelism.
+    /// Worker threads for intra-query parallelism (and the wave's
+    /// inter-query fan-out — both levels share one pool).
     pub threads: usize,
+    /// Maximum concurrently in-flight engine runs per wave.
+    pub batch: usize,
     /// Hard admission-control cap on any query's call budget.
     pub max_calls: usize,
     /// Budget used when a query names none.
@@ -38,6 +44,9 @@ pub struct ServerConfig {
     pub model_dir: Option<PathBuf>,
     /// How many lowered models to keep resident.
     pub model_cache_capacity: usize,
+    /// Maximum result-store entries (`None` = unbounded); LRU families
+    /// are evicted whole when exceeded.
+    pub store_cap: Option<usize>,
     /// Re-audit every store-served certificate even when the query does
     /// not ask for it.
     pub audit_stored: bool,
@@ -47,10 +56,12 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             threads: 1,
+            batch: 1,
             max_calls: 10_000,
             default_calls: 2_000,
             model_dir: None,
             model_cache_capacity: 8,
+            store_cap: None,
             audit_stored: false,
         }
     }
@@ -71,27 +82,29 @@ pub fn apply_epsilon_override(property: &Property, center: &[f64], epsilon: f64)
 }
 
 /// How the store key and region were derived for one query.
-struct QueryPlan {
+pub(crate) struct QueryPlan {
     /// Store family key.
-    family: u64,
+    pub(crate) family: u64,
+    /// Cross-center reuse cohort (ε-families only).
+    pub(crate) cohort: Option<u64>,
     /// ε-coordinate inside the family (0 for exact-only families).
-    epsilon: f64,
+    pub(crate) epsilon: f64,
     /// Whether the family supports ε-monotone reuse.
-    monotone: bool,
+    pub(crate) monotone: bool,
     /// The property actually verified (box possibly rebuilt).
-    property: Property,
+    pub(crate) property: Property,
     /// The center the family is keyed by (ε-families only).
-    center: Option<Vec<f64>>,
+    pub(crate) center: Option<Vec<f64>>,
 }
 
 /// The verification service daemon.
 pub struct Server {
-    config: ServerConfig,
-    pool: Arc<WorkerPool>,
-    store: ResultStore,
-    models: ModelCache,
-    queries: usize,
-    appver_calls_total: usize,
+    pub(crate) config: ServerConfig,
+    pub(crate) pool: Arc<WorkerPool>,
+    pub(crate) store: ResultStore,
+    pub(crate) models: ModelCache,
+    pub(crate) queries: usize,
+    pub(crate) appver_calls_total: usize,
 }
 
 impl Server {
@@ -104,85 +117,127 @@ impl Server {
             WorkerPool::new(config.threads)
         });
         let models = ModelCache::new(config.model_cache_capacity);
+        let store = ResultStore::with_capacity(config.store_cap);
         Self {
             config,
             pool,
-            store: ResultStore::new(),
+            store,
             models,
             queries: 0,
             appver_calls_total: 0,
         }
     }
 
+    /// The result store (for snapshotting).
+    #[must_use]
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Replaces the result store with one restored from a snapshot.
+    /// Call before serving queries; loaded certificates carry their
+    /// `needs_reaudit` flag and are re-audited before first reuse.
+    pub fn load_store(&mut self, store: ResultStore) {
+        self.store = store;
+    }
+
     /// Handles one request line; `None` for blank lines.
     pub fn handle_line(&mut self, line: &str) -> Option<String> {
-        let line = line.trim();
-        if line.is_empty() {
-            return None;
-        }
-        match protocol::parse_request(line) {
-            Err(msg) => Some(error_line(&protocol::best_effort_id(line), &msg)),
-            Ok(Request::Stats { id }) => Some(self.stats_response(&id)),
-            Ok(Request::Verify(req)) => {
-                self.queries += 1;
-                Some(self.handle_verify(&req))
-            }
-        }
+        self.handle_batch(&[line]).pop().flatten()
     }
 
     /// Runs the line protocol over a reader/writer pair until EOF.
     ///
+    /// Up to `batch` lines already buffered on the reader are admitted as
+    /// one wave — a *greedy fill* that never blocks waiting for a second
+    /// line. The partition this produces depends on pipe/TCP buffering
+    /// accidents, which is safe because responses are wave-partition
+    /// invariant (see [`crate::scheduler`]).
+    ///
     /// Lines that are not valid UTF-8 get a structured error response;
-    /// output is flushed after every line so pipes see responses
+    /// output is flushed after every wave so pipes see responses
     /// promptly.
     ///
     /// # Errors
     ///
     /// Only I/O errors from the underlying streams.
-    pub fn run<R: BufRead, W: Write>(&mut self, mut input: R, mut output: W) -> io::Result<()> {
-        let mut buf = Vec::new();
-        loop {
-            buf.clear();
-            if input.read_until(b'\n', &mut buf)? == 0 {
-                return Ok(());
-            }
-            let response = match std::str::from_utf8(&buf) {
-                Ok(line) => self.handle_line(line),
-                Err(_) => Some(error_line(
-                    &Value::Null,
-                    "request line is not valid UTF-8",
-                )),
-            };
-            if let Some(response) = response {
-                output.write_all(response.as_bytes())?;
-                output.write_all(b"\n")?;
-                output.flush()?;
-            }
+    pub fn run<R: Read, W: Write>(
+        &mut self,
+        input: &mut BufReader<R>,
+        output: &mut W,
+    ) -> io::Result<()> {
+        let limit = self.config.batch.max(1);
+        while let Some(raw_lines) = read_wave(input, limit)? {
+            let responses = self.respond_wave(&raw_lines);
+            write_responses(output, &responses)?;
         }
+        Ok(())
     }
 
-    fn handle_verify(&mut self, req: &VerifyRequest) -> String {
-        let (model_hash, model) = match self.resolve_model(&req.model) {
-            Ok(m) => m,
-            Err(msg) => return error_line(&req.id, &msg),
+    /// Like [`Server::run`], but over a shared server: the lock is held
+    /// only while a wave is processed, never while blocked on input, so
+    /// multiple connections make progress concurrently. Each client's
+    /// response stream is still a pure function of the interleaved
+    /// request order the daemon admits.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the streams, or a poisoned lock (another
+    /// connection's thread panicked mid-query).
+    pub fn run_shared<R: Read, W: Write>(
+        server: &std::sync::Mutex<Server>,
+        input: &mut BufReader<R>,
+        output: &mut W,
+    ) -> io::Result<()> {
+        let limit = {
+            let guard = server
+                .lock()
+                .map_err(|_| io::Error::other("server lock poisoned"))?;
+            guard.config.batch.max(1)
         };
-        let property = match abonn_vnnlib::parse_bytes(req.property.as_bytes()) {
-            Ok(p) => p,
-            Err(e) => return error_line(&req.id, &format!("invalid property: {e}")),
-        };
-        let plan = match self.plan_query(model_hash, &model, &property, req) {
-            Ok(p) => p,
-            Err(msg) => return error_line(&req.id, &msg),
-        };
+        while let Some(raw_lines) = read_wave(input, limit)? {
+            let responses = {
+                let mut guard = server
+                    .lock()
+                    .map_err(|_| io::Error::other("server lock poisoned"))?;
+                guard.respond_wave(&raw_lines)
+            };
+            write_responses(output, &responses)?;
+        }
+        Ok(())
+    }
 
-        if let Some((kind, entry)) = self.store.lookup(plan.family, plan.epsilon) {
-            // A stored entry that fails replay/audit is never served; on
-            // Err the query falls through to a fresh computation.
-            if let Ok(response) = self.serve_from_store(req, &model, &plan, kind, &entry) {
-                return response;
+    /// Processes one wave of raw request lines into response lines,
+    /// routing invalid UTF-8 to structured errors in stream order.
+    fn respond_wave(&mut self, raw_lines: &[Vec<u8>]) -> Vec<String> {
+        let mut decoded: Vec<&str> = Vec::new();
+        let mut responses: Vec<String> = Vec::new();
+        for raw in raw_lines {
+            match std::str::from_utf8(raw) {
+                Ok(line) => decoded.push(line),
+                Err(_) => {
+                    responses.extend(self.handle_batch(&decoded).into_iter().flatten());
+                    decoded.clear();
+                    responses.push(error_line(&Value::Null, "request line is not valid UTF-8"));
+                }
             }
         }
-        self.verify_fresh(req, &model, &plan)
+        responses.extend(self.handle_batch(&decoded).into_iter().flatten());
+        responses
+    }
+
+    /// Resolves the model and derives the store plan for one verify
+    /// request. The model-cache admission here is the query's only
+    /// plan-time side effect, and it happens in strict input order.
+    pub(crate) fn plan_verify(
+        &mut self,
+        req: &VerifyRequest,
+    ) -> Result<(Arc<LoweredModel>, QueryPlan), String> {
+        let (model_hash, model) = self.resolve_model(&req.model)?;
+        let property = abonn_vnnlib::parse_bytes(req.property.as_bytes())
+            .map_err(|e| format!("invalid property: {e}"))?;
+        let plan = self.plan_query(model_hash, &model, &property, req)?;
+        Ok((model, plan))
     }
 
     fn resolve_model(&mut self, model: &ModelRef) -> Result<(u64, Arc<LoweredModel>), String> {
@@ -222,6 +277,7 @@ impl Server {
         let Some(epsilon) = req.epsilon else {
             return Ok(QueryPlan {
                 family: exact_property_key(model_hash, property, ENGINE_CONFIG),
+                cohort: None,
                 epsilon: 0.0,
                 monotone: false,
                 property: property.clone(),
@@ -259,8 +315,10 @@ impl Server {
         }
         let family =
             robustness_family_key(model_hash, label, &adversarial, &center, ENGINE_CONFIG);
+        let cohort = robustness_cohort_key(model_hash, label, &adversarial, ENGINE_CONFIG);
         Ok(QueryPlan {
             family,
+            cohort: Some(cohort),
             epsilon,
             monotone: true,
             property: apply_epsilon_override(property, &center, epsilon),
@@ -268,28 +326,54 @@ impl Server {
         })
     }
 
-    /// Tries to answer from a store entry. `Err(())` means the entry was
+    /// Lowers the verification problem for a fresh engine run.
+    pub(crate) fn build_job(
+        &self,
+        model: &LoweredModel,
+        plan: &QueryPlan,
+        req: &VerifyRequest,
+    ) -> Result<EngineJob, String> {
+        let problem = RobustnessProblem::from_vnnlib_prelowered(
+            &model.network,
+            &model.canonical,
+            &plan.property,
+        )
+        .map_err(|e| format!("unsupported property: {e}"))?;
+        Ok(EngineJob {
+            problem,
+            requested: req.calls.unwrap_or(self.config.default_calls),
+            audit: req.audit,
+        })
+    }
+
+    /// Tries to answer from a store hit. `Err(())` means the evidence was
     /// not servable (failed replay or audit) and the query must run
     /// fresh.
-    fn serve_from_store(
+    ///
+    /// Certificates loaded from a snapshot (`needs_reaudit`) are audited
+    /// here before their first reuse regardless of the query's audit
+    /// flag, and the flag is cleared on success.
+    pub(crate) fn serve_from_store(
         &mut self,
         req: &VerifyRequest,
         model: &LoweredModel,
         plan: &QueryPlan,
-        kind: HitKind,
-        entry: &CachedEntry,
+        hit: &Hit,
     ) -> Result<String, ()> {
-        let audit_wanted = req.audit || self.config.audit_stored;
+        let entry = &hit.entry;
         let mut fields: Vec<(&str, Value)> = vec![
             ("id", req.id.clone()),
             ("status", Value::String("ok".into())),
         ];
         match &entry.verdict {
             CachedVerdict::Unsat { certificate } => {
-                let audited = if audit_wanted {
+                let audit_wanted =
+                    req.audit || self.config.audit_stored || entry.needs_reaudit;
+                if audit_wanted {
                     // The certificate proves the property at its SOURCE
                     // radius; audit against that region, which covers the
-                    // query's (ε′ ≤ ε ⇒ nested clamped balls).
+                    // query's (ε′ ≤ ε ⇒ nested clamped balls). UNSAT hits
+                    // always come from the query's own family.
                     let source_property = match (plan.monotone, &plan.center) {
                         (true, Some(center)) => {
                             apply_epsilon_override(&plan.property, center, entry.epsilon)
@@ -306,27 +390,30 @@ impl Server {
                     if audit_certificate(certificate, &problem).is_err() {
                         return Err(());
                     }
-                    true
-                } else {
-                    false
-                };
+                    if entry.needs_reaudit {
+                        self.store.mark_audited(hit.family, entry.epsilon);
+                    }
+                }
                 fields.push(("verdict", Value::String("verified".into())));
-                push_store_fields(&mut fields, kind, entry.epsilon, plan.monotone);
+                push_store_fields(&mut fields, hit.kind, entry.epsilon, plan.monotone);
                 fields.push(("appver_calls", uint(0)));
                 fields.push(("nodes_visited", uint(0)));
-                if audited {
+                if audit_wanted {
                     fields.push(("audit", Value::String("passed".into())));
                 }
             }
             CachedVerdict::Sat { witness } => {
                 // A cached witness is never trusted blindly: replay it
-                // against the query's own region and violation.
+                // against the query's own region and violation. Cross-center
+                // hits pass through the exact same check — containment put
+                // the witness inside the query's ball, the replay proves it
+                // violates the query's property.
                 if replay_witness(&model.network, &plan.property, witness).is_err() {
                     return Err(());
                 }
                 fields.push(("verdict", Value::String("falsified".into())));
                 fields.push(("witness", float_array(witness)));
-                push_store_fields(&mut fields, kind, entry.epsilon, plan.monotone);
+                push_store_fields(&mut fields, hit.kind, entry.epsilon, plan.monotone);
                 fields.push(("appver_calls", uint(0)));
                 fields.push(("nodes_visited", uint(0)));
             }
@@ -334,37 +421,27 @@ impl Server {
         Ok(render(&fields))
     }
 
-    fn verify_fresh(
+    /// Applies a fresh engine outcome: counters, store insert, response.
+    pub(crate) fn finish_fresh(
         &mut self,
         req: &VerifyRequest,
-        model: &LoweredModel,
         plan: &QueryPlan,
+        outcome: EngineOutcome,
     ) -> String {
-        let problem = match RobustnessProblem::from_vnnlib_prelowered(
-            &model.network,
-            &model.canonical,
-            &plan.property,
-        ) {
-            Ok(p) => p,
-            Err(e) => return error_line(&req.id, &format!("unsupported property: {e}")),
+        self.appver_calls_total += outcome.appver_calls;
+        let meta = FamilyMeta {
+            cohort: plan.cohort,
+            center: plan.center.clone(),
         };
-        let requested = req.calls.unwrap_or(self.config.default_calls);
-        let (budget, clamped) =
-            Budget::with_appver_calls(requested).clamped_to(self.config.max_calls);
-        let verifier = AbonnVerifier::default().with_pool(Arc::clone(&self.pool));
-        let (result, certificate) = verifier.verify_with_certificate(&problem, &budget);
-        self.appver_calls_total += result.stats.appver_calls;
-
         let mut fields: Vec<(&str, Value)> = vec![
             ("id", req.id.clone()),
             ("status", Value::String("ok".into())),
         ];
         let mut audited = false;
-        match &result.verdict {
+        match &outcome.verdict {
             Verdict::Verified => {
-                let cert = certificate.expect("verified runs carry a certificate");
-                if req.audit {
-                    if let Err(e) = audit_certificate(&cert, &problem) {
+                match &outcome.audit {
+                    Some(Err(e)) => {
                         // A fresh certificate failing its own audit is an
                         // engine bug; surface it rather than caching it.
                         return error_line(
@@ -372,11 +449,16 @@ impl Server {
                             &format!("certificate failed audit: {e}"),
                         );
                     }
-                    audited = true;
+                    Some(Ok(())) => audited = true,
+                    None => {}
                 }
+                let cert = outcome
+                    .certificate
+                    .expect("verified runs carry a certificate");
                 self.store.insert(
                     plan.family,
                     plan.epsilon,
+                    &meta,
                     CachedVerdict::Unsat { certificate: cert },
                 );
                 fields.push(("verdict", Value::String("verified".into())));
@@ -385,6 +467,7 @@ impl Server {
                 self.store.insert(
                     plan.family,
                     plan.epsilon,
+                    &meta,
                     CachedVerdict::Sat {
                         witness: witness.clone(),
                     },
@@ -399,17 +482,17 @@ impl Server {
             }
         }
         fields.push(("store", Value::String("miss".into())));
-        fields.push(("appver_calls", uint(result.stats.appver_calls)));
-        fields.push(("nodes_visited", uint(result.stats.nodes_visited)));
-        fields.push(("budget_calls", uint(budget.max_appver_calls)));
-        fields.push(("clamped", Value::Bool(clamped)));
+        fields.push(("appver_calls", uint(outcome.appver_calls)));
+        fields.push(("nodes_visited", uint(outcome.nodes_visited)));
+        fields.push(("budget_calls", uint(outcome.budget_calls)));
+        fields.push(("clamped", Value::Bool(outcome.clamped)));
         if audited {
             fields.push(("audit", Value::String("passed".into())));
         }
         render(&fields)
     }
 
-    fn stats_response(&self, id: &Value) -> String {
+    pub(crate) fn stats_response(&self, id: &Value) -> String {
         let mut fields = vec![
             ("id", id.clone()),
             ("status", Value::String("ok".into())),
@@ -419,7 +502,8 @@ impl Server {
     }
 
     /// Counter snapshot as a standalone JSON value (the `--store-stats`
-    /// artifact).
+    /// artifact). Every field is a pure function of the input-order
+    /// request stream — never of wave partitions or thread counts.
     #[must_use]
     pub fn stats_json(&self) -> Value {
         obj(self.stats_fields())
@@ -439,8 +523,12 @@ impl Server {
                     ("exact_hits", uint(sc.exact_hits)),
                     ("reuse_unsat", uint(sc.reuse_unsat)),
                     ("reuse_sat", uint(sc.reuse_sat)),
+                    ("reuse_cross", uint(sc.reuse_cross)),
                     ("misses", uint(sc.misses)),
                     ("inserts", uint(sc.inserts)),
+                    ("evicted_families", uint(sc.evicted_families)),
+                    ("evicted_entries", uint(sc.evicted_entries)),
+                    ("expunged", uint(sc.expunged)),
                 ]),
             ),
             (
@@ -454,6 +542,37 @@ impl Server {
             ),
         ]
     }
+}
+
+/// Reads one wave of raw lines: the first blocks, further lines are
+/// taken greedily — only while already buffered on the reader — up to
+/// `limit`. Returns `None` at EOF.
+fn read_wave<R: Read>(
+    input: &mut BufReader<R>,
+    limit: usize,
+) -> io::Result<Option<Vec<Vec<u8>>>> {
+    use io::BufRead as _;
+    let mut raw_lines: Vec<Vec<u8>> = Vec::new();
+    let mut buf = Vec::new();
+    if input.read_until(b'\n', &mut buf)? == 0 {
+        return Ok(None);
+    }
+    raw_lines.push(std::mem::take(&mut buf));
+    while raw_lines.len() < limit && !input.buffer().is_empty() {
+        if input.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        raw_lines.push(std::mem::take(&mut buf));
+    }
+    Ok(Some(raw_lines))
+}
+
+fn write_responses<W: Write>(output: &mut W, responses: &[String]) -> io::Result<()> {
+    for response in responses {
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+    }
+    output.flush()
 }
 
 fn push_store_fields(
@@ -589,5 +708,71 @@ mod tests {
         assert!(stats.contains("\"exact_hits\":1"), "got: {stats}");
         let artifact = serde_json::to_string(&server.stats_json()).unwrap();
         assert!(artifact.contains("\"inserts\":1"), "got: {artifact}");
+    }
+
+    #[test]
+    fn cross_center_hit_is_served_and_replayed() {
+        let model_json = abonn_nn::io::to_json(&demo_net()).unwrap();
+        let mut server = Server::new(ServerConfig::default());
+        // Find a falsifiable query: large radius around a center, label 2
+        // (the demo net rarely argmaxes 2 near [0.6, 0.4]).
+        let first = server
+            .handle_line(&verify_line(1, &model_json, &[0.6, 0.4], 0.3, 2))
+            .unwrap();
+        assert!(
+            first.contains("\"verdict\":\"falsified\""),
+            "fixture must falsify, got: {first}"
+        );
+        // A different center whose ball safely contains the first one.
+        let second = server
+            .handle_line(&verify_line(2, &model_json, &[0.5, 0.5], 0.9, 2))
+            .unwrap();
+        assert!(
+            second.contains("\"store\":\"reuse-cross\""),
+            "got: {second}"
+        );
+        assert!(second.contains("\"verdict\":\"falsified\""), "got: {second}");
+        assert!(second.contains("\"appver_calls\":0"), "got: {second}");
+        assert!(second.contains("\"source_eps\""), "got: {second}");
+        let stats = server.handle_line(r#"{"id":9,"cmd":"stats"}"#).unwrap();
+        assert!(stats.contains("\"reuse_cross\":1"), "got: {stats}");
+    }
+
+    #[test]
+    fn run_greedily_fills_waves_and_matches_line_by_line() {
+        let model_json = abonn_nn::io::to_json(&demo_net()).unwrap();
+        let session: String = [
+            verify_line(1, &model_json, &[0.6, 0.4], 0.02, 0),
+            verify_line(2, &model_json, &[0.3, 0.7], 0.02, 0),
+            verify_line(3, &model_json, &[0.6, 0.4], 0.01, 0),
+            r#"{"id":4,"cmd":"stats"}"#.to_string(),
+        ]
+        .join("\n")
+            + "\n";
+
+        let mut reference = Server::new(ServerConfig::default());
+        let mut ref_out = Vec::new();
+        {
+            let mut input = BufReader::new(session.as_bytes());
+            reference.run(&mut input, &mut ref_out).unwrap();
+        }
+
+        let mut batched = Server::new(ServerConfig {
+            threads: 2,
+            batch: 8,
+            ..ServerConfig::default()
+        });
+        let mut batch_out = Vec::new();
+        {
+            // The whole session is buffered up front, so the greedy fill
+            // actually forms multi-query waves.
+            let mut input = BufReader::new(session.as_bytes());
+            batched.run(&mut input, &mut batch_out).unwrap();
+        }
+        assert_eq!(
+            String::from_utf8(ref_out).unwrap(),
+            String::from_utf8(batch_out).unwrap(),
+            "greedy waves must not change a single byte"
+        );
     }
 }

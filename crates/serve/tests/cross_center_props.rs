@@ -1,0 +1,206 @@
+//! Property tests of cross-center witness reuse against a brute-force
+//! all-pairs oracle.
+//!
+//! The store answers a cohort query either from the query family's own
+//! ε-lattice or — when that family is absent or silent — by scanning
+//! the cohort's witness index in insertion (`seq`) order for the first
+//! witness contained in the query's clamped L∞ ball. The oracle below
+//! re-derives the same answer from flat lists by exhaustive scan over
+//! *all* recorded pairs; store and oracle must agree exactly, including
+//! on empty query families.
+
+use abonn_core::{Certificate, ProofNode};
+use abonn_serve::{ball_contains, CachedVerdict, FamilyMeta, HitKind, ResultStore};
+use proptest::prelude::*;
+
+fn unsat() -> CachedVerdict {
+    CachedVerdict::Unsat {
+        certificate: Certificate::new(ProofNode::root_leaf()),
+    }
+}
+
+fn family_key(idx: u8) -> u64 {
+    2000 + u64::from(idx)
+}
+
+/// A shadow entry: `(epsilon, witness)`, `witness == None` for UNSAT.
+type ShadowEntry = (f64, Option<Vec<f64>>);
+
+/// The flat shadow model the oracle scans: per-family entries plus the
+/// global witness log in insertion order.
+#[derive(Default)]
+struct Shadow {
+    /// family idx → entries in insertion order.
+    families: Vec<(u8, Vec<ShadowEntry>)>,
+    /// (cohort, family idx, epsilon, witness) in global insertion order.
+    witnesses: Vec<(u64, u8, f64, Vec<f64>)>,
+}
+
+impl Shadow {
+    fn entries_mut(&mut self, idx: u8) -> &mut Vec<ShadowEntry> {
+        if let Some(pos) = self.families.iter().position(|(i, _)| *i == idx) {
+            return &mut self.families[pos].1;
+        }
+        self.families.push((idx, Vec::new()));
+        &mut self.families.last_mut().expect("just pushed").1
+    }
+
+    fn insert(&mut self, idx: u8, cohort: u64, eps: f64, witness: Option<Vec<f64>>) {
+        let entries = self.entries_mut(idx);
+        if entries.iter().any(|(e, _)| *e == eps) {
+            return; // first proof wins, duplicates are dropped
+        }
+        entries.push((eps, witness.clone()));
+        if let Some(w) = witness {
+            self.witnesses.push((cohort, idx, eps, w));
+        }
+    }
+
+    /// The oracle: lattice preference first, then the all-pairs
+    /// cross-center scan in insertion order.
+    fn lookup(
+        &self,
+        idx: u8,
+        eps: f64,
+        cohort: u64,
+        center: &[f64],
+    ) -> Option<(HitKind, u64, f64)> {
+        let entries = self
+            .families
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .map(|(_, e)| e.as_slice())
+            .unwrap_or(&[]);
+        if let Some((e, _)) = entries.iter().find(|(e, _)| *e == eps) {
+            return Some((HitKind::Exact, family_key(idx), *e));
+        }
+        let best_unsat = entries
+            .iter()
+            .filter(|(e, w)| w.is_none() && *e >= eps)
+            .map(|(e, _)| *e)
+            .fold(None::<f64>, |acc, e| Some(acc.map_or(e, |a| a.min(e))));
+        if let Some(e) = best_unsat {
+            return Some((HitKind::ReuseUnsat, family_key(idx), e));
+        }
+        let best_sat = entries
+            .iter()
+            .filter(|(e, w)| w.is_some() && *e <= eps)
+            .map(|(e, _)| *e)
+            .fold(None::<f64>, |acc, e| Some(acc.map_or(e, |a| a.max(e))));
+        if let Some(e) = best_sat {
+            return Some((HitKind::ReuseSat, family_key(idx), e));
+        }
+        // All-pairs brute force: earliest recorded witness in this
+        // cohort whose point the query ball contains.
+        self.witnesses
+            .iter()
+            .find(|(c, _, _, w)| *c == cohort && ball_contains(center, eps, w))
+            .map(|(_, i, e, _)| (HitKind::ReuseCross, family_key(*i), *e))
+    }
+}
+
+/// Family idx → its fixed cohort and center (consistent meta per key).
+fn identity(idx: u8, centers: &[(f64, f64)]) -> (u64, Vec<f64>) {
+    let (x, y) = centers[usize::from(idx) % centers.len()];
+    (u64::from(idx % 3), vec![x, y])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Store peeks ≡ brute-force oracle on every probe, over random
+    /// insert interleavings, cohorts, centers, and witness points.
+    #[test]
+    fn cross_center_lookup_matches_the_all_pairs_oracle(
+        centers in proptest::collection::vec((0.0..1.0_f64, 0.0..1.0_f64), 3..6),
+        inserts in proptest::collection::vec(
+            (0u8..8, 0.001..1.0_f64, 0u8..2,
+             (0.0..1.0_f64, 0.0..1.0_f64)),
+            0..40,
+        ),
+        probes in proptest::collection::vec(
+            (0u8..12, 0.001..1.0_f64, (0.0..1.0_f64, 0.0..1.0_f64)),
+            1..40,
+        ),
+    ) {
+        let mut store = ResultStore::new();
+        let mut shadow = Shadow::default();
+        for (idx, eps, sat_flag, (wx, wy)) in inserts {
+            let is_sat = sat_flag == 1;
+            let (cohort, center) = identity(idx, &centers);
+            let meta = FamilyMeta {
+                cohort: Some(cohort),
+                center: Some(center),
+            };
+            let verdict = if is_sat {
+                CachedVerdict::Sat { witness: vec![wx, wy] }
+            } else {
+                unsat()
+            };
+            store.insert(family_key(idx), eps, &meta, verdict);
+            shadow.insert(idx, cohort, eps, is_sat.then(|| vec![wx, wy]));
+        }
+        // Probes include family indices never inserted (8..12): a query
+        // whose own family is empty must still reach the cohort index.
+        for (idx, eps, (cx, cy)) in probes {
+            let cohort = u64::from(idx % 3);
+            let center = vec![cx, cy];
+            let got = store
+                .peek(family_key(idx), eps, Some(cohort), Some(&center))
+                .map(|h| (h.kind, h.family, h.entry.epsilon));
+            let want = shadow.lookup(idx, eps, cohort, &center);
+            prop_assert_eq!(got, want, "probe family {} eps {}", idx, eps);
+        }
+    }
+
+    /// Cross-center answers are SAT, deterministic in insertion order,
+    /// and their witness is genuinely inside the query ball.
+    #[test]
+    fn cross_hits_carry_a_contained_witness(
+        witness_points in proptest::collection::vec(
+            (0.0..1.0_f64, 0.0..1.0_f64), 1..10,
+        ),
+        query in (0.05..1.0_f64, (0.0..1.0_f64, 0.0..1.0_f64)),
+    ) {
+        let mut store = ResultStore::new();
+        for (i, &(wx, wy)) in witness_points.iter().enumerate() {
+            let idx = u8::try_from(i).expect("few families");
+            let meta = FamilyMeta {
+                cohort: Some(7),
+                center: Some(vec![wx, wy]),
+            };
+            store.insert(
+                family_key(idx),
+                0.01,
+                &meta,
+                CachedVerdict::Sat { witness: vec![wx, wy] },
+            );
+        }
+        let (eps, (cx, cy)) = query;
+        let center = vec![cx, cy];
+        let got = store.peek(9999, eps, Some(7), Some(&center));
+        let contained: Vec<usize> = witness_points
+            .iter()
+            .enumerate()
+            .filter(|(_, (wx, wy))| ball_contains(&center, eps, &[*wx, *wy]))
+            .map(|(i, _)| i)
+            .collect();
+        match got {
+            None => prop_assert!(contained.is_empty()),
+            Some(hit) => {
+                prop_assert_eq!(hit.kind, HitKind::ReuseCross);
+                // Earliest insertion wins — bit-deterministic tie-break.
+                let first = contained.first().copied().expect("hit implies containment");
+                prop_assert_eq!(hit.family, family_key(u8::try_from(first).unwrap()));
+                match &hit.entry.verdict {
+                    CachedVerdict::Sat { witness } => {
+                        prop_assert!(ball_contains(&center, eps, witness));
+                    }
+                    CachedVerdict::Unsat { .. } => {
+                        prop_assert!(false, "cross hits must be SAT");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -108,6 +108,12 @@ proptest! {
                             prop_assert!(eps > threshold,
                                 "served SAT contradicts ground truth");
                         }
+                        // A single family's lattice never answers with a
+                        // cross-center witness: that path lives in the
+                        // cohort index, tested in cross_center_props.rs.
+                        HitKind::ReuseCross => prop_assert!(
+                            false, "lattice lookups cannot produce cross hits"
+                        ),
                     }
                 }
             }

@@ -77,6 +77,43 @@ cargo run --release -q -p abonn-bench --bin serve -- \
     < scripts/serve-session.jsonl > "$outsv/serve-session.out" 2>/dev/null
 diff scripts/serve-session.golden "$outsv/serve-session.out"
 test -s target/experiments/serve-store.json
+
+echo "== serve: wave batching (--batch 8) must reproduce the same golden =="
+./target/release/serve --threads 2 --batch 8 \
+    < scripts/serve-session.jsonl > "$outsv/serve-session-batch.out" 2>/dev/null
+diff scripts/serve-session.golden "$outsv/serve-session-batch.out"
+
+echo "== serve: two concurrent TCP clients must match their solo goldens =="
+./target/release/serve --threads 2 --batch 4 --tcp 127.0.0.1:0 \
+    2> "$outsv/daemon.log" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$outsv/daemon.log" | head -n1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+test -n "$addr"
+./target/release/serve_client --addr "$addr" scripts/serve-client-a.jsonl \
+    > "$outsv/client-a.out" &
+client_a=$!
+./target/release/serve_client --addr "$addr" scripts/serve-client-b.jsonl \
+    > "$outsv/client-b.out" &
+client_b=$!
+wait "$client_a" "$client_b"
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+diff scripts/serve-client-a.golden "$outsv/client-a.out"
+diff scripts/serve-client-b.golden "$outsv/client-b.out"
+
+echo "== serve: a restarted daemon must answer the session from the persisted store =="
+./target/release/serve --threads 2 --store-path "$outsv/store.json" \
+    < scripts/serve-session.jsonl > /dev/null 2>/dev/null
+test -s "$outsv/store.json"
+./target/release/serve --threads 2 --batch 8 --store-path "$outsv/store.json" \
+    --store-stats "$outsv/warm-stats.json" \
+    < scripts/serve-session.jsonl > /dev/null 2>/dev/null
+grep -Eq '"appver_calls_total": *0' "$outsv/warm-stats.json"
 rm -rf "$outsv"
 
 # The LP replay over the 3072-input conv models costs minutes per
