@@ -1,35 +1,57 @@
 //! Workspace determinism & soundness lint front-end (see `abonn-lint`).
 //!
 //! ```text
-//! cargo run -p abonn-bench --bin lint             # human report, exit 1 on findings
-//! cargo run -p abonn-bench --bin lint -- --json   # machine-readable findings report
+//! cargo run -p abonn-bench --bin lint              # human report, exit 1 on findings
+//! cargo run -p abonn-bench --bin lint -- --json    # machine-readable findings report
+//! cargo run -p abonn-bench --bin lint -- --sarif   # SARIF 2.1.0 report
+//! cargo run -p abonn-bench --bin lint -- --write-baseline
 //! cargo run -p abonn-bench --bin lint -- --root DIR --list-rules
 //! ```
 //!
 //! The binary is the CI gate: it exits non-zero iff the scan produced at
-//! least one active (non-suppressed) finding, so `scripts/ci.sh` can run
-//! it ahead of clippy. `--json` emits the same findings as a stable JSON
-//! document for trend tracking across PRs.
+//! least one active finding that is neither suppressed inline nor
+//! grandfathered by the committed baseline. The baseline defaults to
+//! `<root>/lint-baseline.json` when that file exists; `--baseline PATH`
+//! points elsewhere, `--no-baseline` ignores it (every finding gates),
+//! and `--write-baseline` regenerates the canonical file from the
+//! current findings (for adopting the lint on a tree with pre-existing,
+//! audited debt — new code should fix, not re-baseline).
 
-use abonn_lint::{find_workspace_root, lint_workspace, report, rules::default_rules};
+use abonn_lint::baseline::{self, Baseline};
+use abonn_lint::{apply_baseline, find_workspace_root, lint_workspace, report, rules::default_rules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: lint [--json] [--root DIR] [--list-rules]";
+const USAGE: &str = "usage: lint [--json | --sarif] [--root DIR] [--list-rules] \
+                     [--baseline PATH | --no-baseline] [--write-baseline]";
+
+#[derive(PartialEq)]
+enum Output {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut output = Output::Human;
     let mut list_rules = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--json" => json = true,
+            "--json" => output = Output::Json,
+            "--sarif" => output = Output::Sarif,
             "--list-rules" => list_rules = true,
-            "--root" => match args.next() {
-                Some(dir) => root = Some(PathBuf::from(dir)),
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" | "--baseline" => match args.next() {
+                Some(value) if flag == "--root" => root = Some(PathBuf::from(value)),
+                Some(value) => baseline_path = Some(PathBuf::from(value)),
                 None => {
-                    eprintln!("--root needs a value\n{USAGE}");
+                    eprintln!("{flag} needs a value\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -46,7 +68,15 @@ fn main() -> ExitCode {
 
     if list_rules {
         for rule in default_rules() {
-            println!("{:<26} {}", rule.name, rule.summary);
+            println!(
+                "{:<26} {:<8} {}",
+                rule.name,
+                rule.severity.as_str(),
+                rule.summary
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -64,7 +94,7 @@ fn main() -> ExitCode {
         }
     });
 
-    let lint_report = match lint_workspace(&root) {
+    let mut lint_report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lint: failed to scan {}: {e}", root.display());
@@ -72,10 +102,45 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", report::json(&lint_report));
-    } else {
-        print!("{}", report::human(&lint_report));
+    let default_baseline = root.join("lint-baseline.json");
+    let baseline_file = baseline_path.unwrap_or(default_baseline);
+
+    if write_baseline {
+        let base = Baseline::from_findings(&lint_report.findings);
+        if let Err(e) = std::fs::write(&baseline_file, baseline::render(&base)) {
+            eprintln!("lint: cannot write {}: {e}", baseline_file.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline written to {} ({} entries)",
+            baseline_file.display(),
+            base.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if !no_baseline && baseline_file.is_file() {
+        let text = match std::fs::read_to_string(&baseline_file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lint: cannot read {}: {e}", baseline_file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = match baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lint: {}: {e}", baseline_file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        apply_baseline(&mut lint_report, &base);
+    }
+
+    match output {
+        Output::Json => println!("{}", report::json(&lint_report)),
+        Output::Sarif => println!("{}", report::sarif(&lint_report)),
+        Output::Human => print!("{}", report::human(&lint_report)),
     }
 
     if lint_report.is_clean() {

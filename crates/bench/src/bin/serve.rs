@@ -25,7 +25,7 @@
 //! `--store-stats` when given. Exits 0 on EOF, 2 on usage/snapshot
 //! errors.
 
-use abonn_serve::{ResultStore, Server, ServerConfig};
+use abonn_serve::{persist, ResultStore, Server, ServerConfig};
 use std::io::{BufReader, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -94,20 +94,27 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn write_stats(server: &Server, path: &PathBuf) {
-    let json = serde_json::to_string_pretty(&server.stats_json())
-        .expect("stats tree serialises");
+/// Renders the stats document. Pure rendering: callers that share the
+/// server behind a mutex render under the lock and hand the string to
+/// [`write_stats`] after dropping the guard.
+fn stats_text(server: &Server) -> String {
+    serde_json::to_string_pretty(&server.stats_json()).expect("stats tree serialises")
+}
+
+fn write_stats(json: &str, path: &Path) {
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    match std::fs::write(path, json + "\n") {
+    match std::fs::write(path, json.to_string() + "\n") {
         Ok(()) => eprintln!("store counters written to {}", path.display()),
         Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }
 
-fn save_store(server: &Server, path: &Path) {
-    match server.store().write_snapshot(path) {
+/// Writes an already-rendered snapshot (see [`Server::store`] and
+/// `ResultStore::snapshot_string`) atomically.
+fn save_store(text: &str, path: &Path) {
+    match persist::write_snapshot_text(text, path) {
         Ok(()) => eprintln!("store snapshot written to {}", path.display()),
         Err(e) => eprintln!("cannot write snapshot {}: {e}", path.display()),
     }
@@ -145,8 +152,15 @@ fn serve_tcp(
                 Err(e) => eprintln!("connection {peer} ended with error: {e}"),
             }
             if let Some(path) = &store_path {
+                // Render the snapshot under the lock, write the file
+                // after the guard drops: snapshot I/O must never stall
+                // the other connections' request waves.
+                let mut snapshot = None;
                 if let Ok(guard) = server.lock() {
-                    save_store(&guard, path);
+                    snapshot = Some(guard.store().snapshot_string());
+                }
+                if let Some(text) = snapshot {
+                    save_store(&text, path);
                 }
             }
         });
@@ -190,13 +204,15 @@ fn main() -> ExitCode {
             let r = serve_tcp(Arc::clone(&shared), addr, opts.store_path.as_ref());
             // The accept loop only returns on listener errors; stats and
             // snapshots for the TCP path are written per connection.
-            match shared.lock() {
-                Ok(guard) => {
-                    if let Some(path) = &opts.store_stats {
-                        write_stats(&guard, path);
-                    }
+            if let Some(path) = &opts.store_stats {
+                let mut stats = None;
+                match shared.lock() {
+                    Ok(guard) => stats = Some(stats_text(&guard)),
+                    Err(_) => eprintln!("server lock poisoned; skipping final stats"),
                 }
-                Err(_) => eprintln!("server lock poisoned; skipping final stats"),
+                if let Some(json) = stats {
+                    write_stats(&json, path);
+                }
             }
             r
         }
@@ -208,10 +224,10 @@ fn main() -> ExitCode {
             let r = server.run(&mut input, &mut out);
             let _ = out.flush();
             if let Some(path) = &opts.store_path {
-                save_store(&server, path);
+                save_store(&server.store().snapshot_string(), path);
             }
             if let Some(path) = &opts.store_stats {
-                write_stats(&server, path);
+                write_stats(&stats_text(&server), path);
             }
             r
         }

@@ -78,6 +78,7 @@ impl Job {
         }
         let mut done = self.done.lock().expect("job done lock");
         while !*done {
+            // lint: allow(lock-discipline, the condvar protocol requires holding the mutex - wait atomically releases it while blocked)
             done = self.done_signal.wait(done).expect("job done wait");
         }
         self.panic.lock().expect("job panic lock").take()
@@ -151,6 +152,7 @@ impl Shared {
             if self.has_work() {
                 continue;
             }
+            // lint: allow(lock-discipline, the condvar protocol requires holding the mutex - wait atomically releases it while blocked)
             drop(self.signal.wait(guard).expect("pool sleep wait"));
         }
     }

@@ -74,7 +74,7 @@ pub fn boundary_distance_estimate(net: &Network, x: &[f64], label: usize) -> Opt
         let mut coeffs = vec![0.0; logits.len()];
         coeffs[label] = 1.0;
         coeffs[j] = -1.0;
-        let g = grad::input_gradient(net, x, &coeffs);
+        let g: Vec<f64> = grad::input_gradient(net, x, &coeffs);
         let g1: f64 = g.iter().map(|v| v.abs()).sum();
         if g1 < 1e-12 {
             continue;

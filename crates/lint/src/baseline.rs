@@ -1,0 +1,409 @@
+//! Finding fingerprints and the committed baseline.
+//!
+//! A **fingerprint** is a stable 64-bit FNV-1a content hash of
+//! `(rule, path, trimmed code line, occurrence ordinal)` rendered as 16
+//! lowercase hex digits. Line numbers are deliberately *not* part of the
+//! hash: inserting code above a grandfathered finding must not turn it
+//! into a "new" one. The ordinal disambiguates identical lines in the
+//! same file (the n-th `xs[i]` line fingerprints differently from the
+//! first).
+//!
+//! The **baseline** (`lint-baseline.json` at the workspace root) is the
+//! audited set of pre-existing findings: CI fails on any active finding
+//! whose fingerprint is not in the baseline, while baselined findings
+//! are reported (and exported to SARIF as suppressed results) without
+//! failing the gate. Entries whose fingerprint no longer matches any
+//! finding are *stale* and reported so the file gets pruned.
+//!
+//! This crate audits the workspace's serde shims, so it cannot depend on
+//! them: the baseline is parsed with a minimal hand-rolled reader for
+//! exactly the canonical subset [`render`] emits, and `load` re-renders
+//! what it parsed to verify the file is byte-canonical (a hand-edited
+//! or re-ordered baseline is rejected rather than silently accepted).
+
+use crate::rules::Finding;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Content fingerprint (16 lowercase hex digits).
+    pub fingerprint: String,
+    /// Rule name (redundant with the hash; kept for human review).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Why this finding is grandfathered rather than fixed.
+    pub note: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries sorted by `(fingerprint)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The stable content fingerprint of a finding.
+///
+/// `content` is the trimmed code text of the finding's line; `ordinal`
+/// counts earlier findings in the same file with the same
+/// `(rule, content)` key, so duplicated lines stay distinguishable.
+#[must_use]
+pub fn fingerprint(rule: &str, path: &str, content: &str, ordinal: usize) -> String {
+    let mut bytes = Vec::with_capacity(rule.len() + path.len() + content.len() + 24);
+    bytes.extend_from_slice(rule.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(path.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(content.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(ordinal.to_string().as_bytes());
+    format!("{:016x}", fnv1a(&bytes))
+}
+
+impl Baseline {
+    /// Does the baseline contain this fingerprint?
+    #[must_use]
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.entries.iter().any(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Builds a baseline grandfathering `findings` (already
+    /// fingerprinted), with the default audit note.
+    #[must_use]
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries: Vec<BaselineEntry> = findings
+            .iter()
+            .map(|f| BaselineEntry {
+                fingerprint: f.fingerprint.clone(),
+                rule: f.rule.clone(),
+                path: f.path.clone(),
+                note: "grandfathered pre-existing finding; fix or justify before \
+                       touching this code again"
+                    .to_string(),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        entries.dedup();
+        Baseline { entries }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the canonical baseline document: fixed key order, one entry
+/// per line, sorted by fingerprint, trailing newline. Byte-stable.
+#[must_use]
+pub fn render(baseline: &Baseline) -> String {
+    let mut entries = baseline.entries.clone();
+    entries.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"fingerprint\": \"{}\", ", escape(&e.fingerprint)));
+        out.push_str(&format!("\"rule\": \"{}\", ", escape(&e.rule)));
+        out.push_str(&format!("\"path\": \"{}\", ", escape(&e.path)));
+        out.push_str(&format!("\"note\": \"{}\"}}", escape(&e.note)));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Baseline load/parse failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Syntax error with a human-readable description.
+    Parse(String),
+    /// Parsed fine but the bytes are not the canonical rendering.
+    NotCanonical,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Parse(msg) => write!(f, "baseline parse error: {msg}"),
+            BaselineError::NotCanonical => write!(
+                f,
+                "baseline is not canonical: regenerate it with \
+                 `lint --write-baseline` instead of editing by hand"
+            ),
+        }
+    }
+}
+
+/// A minimal reader for the canonical baseline subset of JSON.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\n' | b'\t' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), BaselineError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(BaselineError::Parse(format!(
+                "expected '{}' at byte {}",
+                c as char, self.pos
+            )))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, BaselineError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(BaselineError::Parse("unterminated string".into()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(BaselineError::Parse("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| {
+                                    BaselineError::Parse("bad \\u escape".into())
+                                })?;
+                            self.pos += 4;
+                            out.push(hex);
+                        }
+                        other => {
+                            return Err(BaselineError::Parse(format!(
+                                "unsupported escape '\\{}'",
+                                other as char
+                            )));
+                        }
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| BaselineError::Parse("invalid UTF-8".into()))?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn key(&mut self, expected: &str) -> Result<(), BaselineError> {
+        let k = self.string()?;
+        if k != expected {
+            return Err(BaselineError::Parse(format!(
+                "expected key \"{expected}\", found \"{k}\""
+            )));
+        }
+        self.expect(b':')
+    }
+}
+
+/// Parses a baseline document and verifies it is byte-canonical.
+///
+/// # Errors
+///
+/// [`BaselineError::Parse`] on malformed input, or
+/// [`BaselineError::NotCanonical`] when the bytes differ from the
+/// canonical rendering of what they parse to.
+pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+    let mut r = Reader {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    r.expect(b'{')?;
+    r.key("version")?;
+    r.skip_ws();
+    let start = r.pos;
+    while r.bytes.get(r.pos).is_some_and(u8::is_ascii_digit) {
+        r.pos += 1;
+    }
+    let version: u32 = std::str::from_utf8(&r.bytes[start..r.pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| BaselineError::Parse("bad version number".into()))?;
+    if version != 1 {
+        return Err(BaselineError::Parse(format!(
+            "unsupported baseline version {version}"
+        )));
+    }
+    r.expect(b',')?;
+    r.key("findings")?;
+    r.expect(b'[')?;
+    let mut entries = Vec::new();
+    if r.peek() != Some(b']') {
+        loop {
+            r.expect(b'{')?;
+            r.key("fingerprint")?;
+            let fingerprint = r.string()?;
+            r.expect(b',')?;
+            r.key("rule")?;
+            let rule = r.string()?;
+            r.expect(b',')?;
+            r.key("path")?;
+            let path = r.string()?;
+            r.expect(b',')?;
+            r.key("note")?;
+            let note = r.string()?;
+            r.expect(b'}')?;
+            entries.push(BaselineEntry {
+                fingerprint,
+                rule,
+                path,
+                note,
+            });
+            match r.peek() {
+                Some(b',') => {
+                    r.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+    r.expect(b']')?;
+    r.expect(b'}')?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(BaselineError::Parse("trailing bytes after document".into()));
+    }
+    let baseline = Baseline { entries };
+    if render(&baseline) != text {
+        return Err(BaselineError::NotCanonical);
+    }
+    Ok(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding(rule: &str, path: &str, fp: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            path: path.into(),
+            line: 1,
+            message: "m".into(),
+            severity: Severity::Error,
+            fingerprint: fp.into(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_ordinal_sensitive() {
+        let a = fingerprint("panic-path", "crates/x.rs", "xs[0]", 0);
+        let b = fingerprint("panic-path", "crates/x.rs", "xs[0]", 0);
+        let c = fingerprint("panic-path", "crates/x.rs", "xs[0]", 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn round_trips_canonically() {
+        let base = Baseline::from_findings(&[
+            finding("panic-path", "crates/a.rs", "00000000000000aa"),
+            finding("lock-discipline", "crates/b.rs", "0000000000000001"),
+        ]);
+        let text = render(&base);
+        let parsed = parse(&text).expect("canonical parses");
+        assert_eq!(parsed, base);
+        assert_eq!(render(&parsed), text);
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let text = render(&Baseline::default());
+        assert_eq!(parse(&text).expect("parses"), Baseline::default());
+    }
+
+    #[test]
+    fn non_canonical_bytes_are_rejected() {
+        let base = Baseline::from_findings(&[finding("panic-path", "a.rs", "ab")]);
+        let mut text = render(&base);
+        text.push('\n');
+        assert_eq!(parse(&text), Err(BaselineError::NotCanonical));
+    }
+
+    #[test]
+    fn malformed_documents_are_parse_errors() {
+        assert!(matches!(parse("{"), Err(BaselineError::Parse(_))));
+        assert!(matches!(
+            parse("{\"version\": 2, \"findings\": []}"),
+            Err(BaselineError::Parse(_))
+        ));
+    }
+}

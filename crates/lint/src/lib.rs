@@ -43,12 +43,16 @@
 //! stand-in must read the wall clock — benchmarking is its job), so the
 //! repo's own invariants do not apply to them.
 
+pub mod baseline;
 pub mod lexer;
+pub mod passes;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 
+use baseline::{Baseline, BaselineEntry};
 use lexer::classify;
-use rules::{default_rules, Finding, Rule, SourceFile, SUPPRESSION_SYNTAX};
+use rules::{default_rules, Finding, Rule, Severity, SourceFile, SUPPRESSION_SYNTAX};
 use std::path::{Path, PathBuf};
 
 /// A `lint: allow(...)` marker that matched (and silenced) a finding.
@@ -81,16 +85,48 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// Matched suppressions, sorted by `(path, line, rule)`.
     pub suppressed: Vec<Suppression>,
+    /// Findings grandfathered by the baseline (see [`apply_baseline`]),
+    /// sorted by `(path, line, rule)`.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries whose fingerprint matched nothing: the finding
+    /// was fixed, so the entry should be pruned. Reported, non-failing.
+    pub stale_baseline: Vec<BaselineEntry>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 impl LintReport {
-    /// `true` when the tree is clean (no active findings).
+    /// `true` when the tree is clean (no active non-baselined findings).
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+}
+
+/// Moves baselined findings out of `report.findings` into
+/// `report.baselined`, and records baseline entries that no longer
+/// match anything as stale. The gate afterwards is simply
+/// [`LintReport::is_clean`].
+pub fn apply_baseline(report: &mut LintReport, baseline: &Baseline) {
+    let findings = std::mem::take(&mut report.findings);
+    for f in findings {
+        if baseline.contains(&f.fingerprint) {
+            report.baselined.push(f);
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report.stale_baseline = baseline
+        .entries
+        .iter()
+        .filter(|e| {
+            !report
+                .baselined
+                .iter()
+                .any(|f| f.fingerprint == e.fingerprint)
+        })
+        .cloned()
+        .collect();
 }
 
 /// A parsed `lint: allow(<rule>, <reason>)` marker.
@@ -153,6 +189,8 @@ fn collect_markers(
                     path: path.to_string(),
                     line: idx + 1,
                     message: "unterminated `lint: allow(` marker".to_string(),
+                    severity: Severity::Error,
+                    fingerprint: String::new(),
                 });
                 continue;
             };
@@ -166,6 +204,8 @@ fn collect_markers(
                         "`lint: allow({inner})` is missing its mandatory reason: use \
                          `lint: allow(rule-name, why this site is sound)`"
                     ),
+                    severity: Severity::Error,
+                    fingerprint: String::new(),
                 });
                 continue;
             };
@@ -176,6 +216,8 @@ fn collect_markers(
                     path: path.to_string(),
                     line: idx + 1,
                     message: format!("`lint: allow({rule}, )` has an empty reason"),
+                    severity: Severity::Error,
+                    fingerprint: String::new(),
                 });
                 continue;
             }
@@ -192,6 +234,8 @@ fn collect_markers(
                     path: path.to_string(),
                     line: idx + 1,
                     message: format!("`lint: allow({rule}, ...)` guards no code line"),
+                    severity: Severity::Error,
+                    fingerprint: String::new(),
                 });
                 continue;
             };
@@ -209,7 +253,12 @@ fn collect_markers(
 #[must_use]
 pub fn lint_text(path: &str, text: &str, rules: &[Rule]) -> FileOutcome {
     let lines = classify(text);
-    let file = SourceFile { path, lines: &lines };
+    let index = syntax::index(&lines);
+    let file = SourceFile {
+        path,
+        lines: &lines,
+        syntax: &index,
+    };
     let mut raw = Vec::new();
     for rule in rules {
         if rule.in_scope(path) {
@@ -230,6 +279,8 @@ pub fn lint_text(path: &str, text: &str, rules: &[Rule]) -> FileOutcome {
                     m.rule,
                     known.join(", ")
                 ),
+                severity: Severity::Error,
+                fingerprint: String::new(),
             });
         }
     }
@@ -248,9 +299,31 @@ pub fn lint_text(path: &str, text: &str, rules: &[Rule]) -> FileOutcome {
             None => findings.push(f),
         }
     }
+    assign_fingerprints(&mut findings, &lines);
     FileOutcome {
         findings,
         suppressed,
+    }
+}
+
+/// Fills in each active finding's content fingerprint: a hash of
+/// `(rule, path, trimmed code line, ordinal)`, where the ordinal counts
+/// earlier same-file findings with the same `(rule, content)` key so
+/// repeated identical lines stay distinguishable. Line numbers are not
+/// hashed — baselines survive unrelated edits above a finding.
+fn assign_fingerprints(findings: &mut [Finding], lines: &[lexer::SourceLine]) {
+    findings.sort_by(|a, b| (a.line, &a.rule, &a.message).cmp(&(b.line, &b.rule, &b.message)));
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for f in findings.iter_mut() {
+        let content = lines
+            .get(f.line - 1)
+            .map(|l| l.code.trim())
+            .unwrap_or_default()
+            .to_string();
+        let key = (f.rule.clone(), content);
+        let ordinal = seen.iter().filter(|k| **k == key).count();
+        f.fingerprint = baseline::fingerprint(&f.rule, &f.path, &key.1, ordinal);
+        seen.push(key);
     }
 }
 

@@ -1,39 +1,89 @@
 //! Deterministic renderings of a [`LintReport`](crate::LintReport):
-//! a human-readable listing and a machine-readable JSON document.
+//! a human-readable listing, a machine-readable JSON document, and a
+//! SARIF 2.1.0 document for code-scanning UIs.
 //!
-//! The JSON is hand-rolled on purpose — the lint must not depend on the
-//! serde shims it audits — and both renderings consume the report's
-//! already-sorted vectors, so output bytes are stable across runs.
+//! All three are hand-rolled on purpose — the lint must not depend on
+//! the serde shims it audits — and consume the report's already-sorted
+//! vectors, so output bytes are stable across runs.
 
+use crate::rules::{default_rules, Finding};
 use crate::LintReport;
 use std::fmt::Write as _;
 
-/// Renders the report for terminals: one `path:line: [rule] message`
-/// per finding, then a summary line.
+/// Renders the report for terminals: one
+/// `path:line: severity [rule] message` per finding, baselined and
+/// stale-baseline sections, then a summary line.
 #[must_use]
 pub fn human(report: &LintReport) -> String {
     let mut out = String::new();
     for f in &report.findings {
-        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        let _ = writeln!(
+            out,
+            "{}:{}: {} [{}] {}",
+            f.path,
+            f.line,
+            f.severity.as_str(),
+            f.rule,
+            f.message
+        );
     }
     if !report.findings.is_empty() {
         out.push('\n');
     }
+    for f in &report.baselined {
+        let _ = writeln!(
+            out,
+            "baselined {}:{}: {} [{}] {}",
+            f.path,
+            f.line,
+            f.severity.as_str(),
+            f.rule,
+            f.fingerprint
+        );
+    }
+    for e in &report.stale_baseline {
+        let _ = writeln!(
+            out,
+            "stale baseline entry {} ({} in {}): finding fixed, prune it with \
+             `lint --write-baseline`",
+            e.fingerprint, e.rule, e.path
+        );
+    }
+    if !report.baselined.is_empty() || !report.stale_baseline.is_empty() {
+        out.push('\n');
+    }
     let _ = writeln!(
         out,
-        "abonn-lint: {} finding(s), {} suppression(s) in {} file(s)",
+        "abonn-lint: {} finding(s), {} baselined, {} suppression(s) in {} file(s)",
         report.findings.len(),
+        report.baselined.len(),
         report.suppressed.len(),
         report.files_scanned
     );
     out
 }
 
+fn write_finding(out: &mut String, f: &Finding) {
+    let _ = write!(
+        out,
+        "{{\"rule\":{},\"path\":{},\"line\":{},\"severity\":{},\"fingerprint\":{},\"message\":{}}}",
+        escape(&f.rule),
+        escape(&f.path),
+        f.line,
+        escape(f.severity.as_str()),
+        escape(&f.fingerprint),
+        escape(&f.message)
+    );
+}
+
 /// Renders the report as a JSON document:
 ///
 /// ```json
-/// {"files_scanned":N,"active":N,"suppressed":N,
-///  "findings":[{"rule":"...","path":"...","line":N,"message":"..."}],
+/// {"files_scanned":N,"active":N,"baselined":N,"suppressed":N,
+///  "findings":[{"rule":"...","path":"...","line":N,"severity":"...",
+///               "fingerprint":"...","message":"..."}],
+///  "baselined_findings":[...same shape...],
+///  "stale_baseline":[{"fingerprint":"...","rule":"...","path":"..."}],
 ///  "suppressions":[{"rule":"...","path":"...","line":N,"reason":"..."}]}
 /// ```
 #[must_use]
@@ -41,22 +91,36 @@ pub fn json(report: &LintReport) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"files_scanned\":{},\"active\":{},\"suppressed\":{},\"findings\":[",
+        "{{\"files_scanned\":{},\"active\":{},\"baselined\":{},\"suppressed\":{},\"findings\":[",
         report.files_scanned,
         report.findings.len(),
+        report.baselined.len(),
         report.suppressed.len()
     );
     for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        write_finding(&mut out, f);
+    }
+    out.push_str("],\"baselined_findings\":[");
+    for (i, f) in report.baselined.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_finding(&mut out, f);
+    }
+    out.push_str("],\"stale_baseline\":[");
+    for (i, e) in report.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
         let _ = write!(
             out,
-            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
-            escape(&f.rule),
-            escape(&f.path),
-            f.line,
-            escape(&f.message)
+            "{{\"fingerprint\":{},\"rule\":{},\"path\":{}}}",
+            escape(&e.fingerprint),
+            escape(&e.rule),
+            escape(&e.path)
         );
     }
     out.push_str("],\"suppressions\":[");
@@ -75,6 +139,76 @@ pub fn json(report: &LintReport) -> String {
     }
     out.push_str("]}");
     out
+}
+
+fn sarif_result(out: &mut String, f: &Finding, suppressed: bool) {
+    let _ = write!(
+        out,
+        "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+         {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}],\
+         \"partialFingerprints\":{{\"abonnLintContent/v1\":{}}}",
+        escape(&f.rule),
+        escape(f.severity.as_str()),
+        escape(&f.message),
+        escape(&f.path),
+        f.line,
+        escape(&f.fingerprint)
+    );
+    if suppressed {
+        out.push_str(",\"suppressions\":[{\"kind\":\"external\",\"justification\":\
+                      \"grandfathered by lint-baseline.json\"}]");
+    }
+    out.push('}');
+}
+
+/// Renders the report as a minimal SARIF 2.1.0 document. Active
+/// findings become plain results; baselined findings become results
+/// carrying an external `suppressions` entry, so code-scanning UIs show
+/// them as known-and-accepted rather than new. Byte-stable.
+#[must_use]
+pub fn sarif(report: &LintReport) -> String {
+    let mut out = String::from(
+        "{\"version\":\"2.1.0\",\"$schema\":\
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\
+         \"tool\":{\"driver\":{\"name\":\"abonn-lint\",\
+         \"informationUri\":\"DESIGN.md\",\"rules\":[",
+    );
+    for (i, r) in default_rules().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            escape(r.name),
+            escape(&normalize_ws(r.summary))
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for f in &report.findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        sarif_result(&mut out, f, false);
+    }
+    for f in &report.baselined {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        sarif_result(&mut out, f, true);
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// Collapses the continuation-line whitespace runs of `concat!`-style
+/// summaries into single spaces.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
 /// JSON string escaping (quotes, backslashes, control chars).
@@ -101,7 +235,8 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::Finding;
+    use crate::baseline::BaselineEntry;
+    use crate::rules::{Finding, Severity};
     use crate::Suppression;
 
     fn sample() -> LintReport {
@@ -111,12 +246,28 @@ mod tests {
                 path: "crates/bench/src/x.rs".to_string(),
                 line: 7,
                 message: "say \"no\" to HashMap".to_string(),
+                severity: Severity::Error,
+                fingerprint: "00aa00aa00aa00aa".to_string(),
             }],
             suppressed: vec![Suppression {
                 rule: "relaxed-atomics".to_string(),
                 path: "crates/core/src/pool.rs".to_string(),
                 line: 3,
                 reason: "monotonic counter".to_string(),
+            }],
+            baselined: vec![Finding {
+                rule: "panic-path".to_string(),
+                path: "crates/serve/src/persist.rs".to_string(),
+                line: 12,
+                message: "old friend".to_string(),
+                severity: Severity::Warning,
+                fingerprint: "ffeeffeeffeeffee".to_string(),
+            }],
+            stale_baseline: vec![BaselineEntry {
+                fingerprint: "0123456789abcdef".to_string(),
+                rule: "panic-path".to_string(),
+                path: "crates/serve/src/server.rs".to_string(),
+                note: "n".to_string(),
             }],
             files_scanned: 2,
         }
@@ -125,17 +276,37 @@ mod tests {
     #[test]
     fn human_lists_findings_and_summary() {
         let text = human(&sample());
-        assert!(text.contains("crates/bench/src/x.rs:7: [unordered-iteration]"));
-        assert!(text.contains("1 finding(s), 1 suppression(s) in 2 file(s)"));
+        assert!(text.contains("crates/bench/src/x.rs:7: error [unordered-iteration]"));
+        assert!(text.contains("baselined crates/serve/src/persist.rs:12: warning"));
+        assert!(text.contains("stale baseline entry 0123456789abcdef"));
+        assert!(text.contains("1 finding(s), 1 baselined, 1 suppression(s) in 2 file(s)"));
     }
 
     #[test]
     fn json_is_well_formed_and_escaped() {
         let text = json(&sample());
-        assert!(text.starts_with("{\"files_scanned\":2,\"active\":1,\"suppressed\":1,"));
+        assert!(text.starts_with("{\"files_scanned\":2,\"active\":1,\"baselined\":1,"));
         assert!(text.contains("\\\"no\\\""), "quotes must be escaped: {text}");
+        assert!(text.contains("\"severity\":\"error\""));
+        assert!(text.contains("\"fingerprint\":\"00aa00aa00aa00aa\""));
         assert!(text.ends_with("]}"));
-        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = text.matches('{').count() + text.matches('[').count();
+        let closes = text.matches('}').count() + text.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn sarif_carries_rules_results_and_suppressions() {
+        let text = sarif(&sample());
+        assert!(text.starts_with("{\"version\":\"2.1.0\""));
+        assert!(text.contains("\"name\":\"abonn-lint\""));
+        assert!(text.contains("\"id\":\"panic-path\""));
+        assert!(text.contains("\"ruleId\":\"unordered-iteration\""));
+        assert!(text.contains("\"abonnLintContent/v1\":\"00aa00aa00aa00aa\""));
+        assert!(
+            text.contains("\"suppressions\":[{\"kind\":\"external\""),
+            "baselined findings must carry a suppression: {text}"
+        );
         let opens = text.matches('{').count() + text.matches('[').count();
         let closes = text.matches('}').count() + text.matches(']').count();
         assert_eq!(opens, closes);
@@ -147,7 +318,9 @@ mod tests {
         assert!(human(&empty).contains("0 finding(s)"));
         assert_eq!(
             json(&empty),
-            "{\"files_scanned\":0,\"active\":0,\"suppressed\":0,\"findings\":[],\"suppressions\":[]}"
+            "{\"files_scanned\":0,\"active\":0,\"baselined\":0,\"suppressed\":0,\
+             \"findings\":[],\"baselined_findings\":[],\"stale_baseline\":[],\
+             \"suppressions\":[]}"
         );
     }
 }

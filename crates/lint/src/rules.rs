@@ -2,6 +2,30 @@
 //! `DESIGN.md` §5e, scoped to the paths where the invariant applies.
 
 use crate::lexer::{is_ident, SourceLine};
+use crate::passes;
+use crate::syntax::FileIndex;
+
+/// How bad a finding is. Both severities fail the CI gate when not
+/// baselined; the tier feeds reports and the SARIF `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Should-fix: the invariant violation is not locally provable but
+    /// may be sound; type the code so the pass can see it, or allow.
+    Warning,
+    /// Must-fix: a proven invariant violation.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name, as used in reports, SARIF, and baselines.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
 
 /// A finding produced by a rule (before suppression filtering).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +38,11 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Severity tier.
+    pub severity: Severity,
+    /// Stable content fingerprint (filled in by the engine after
+    /// suppression filtering; empty inside rule checks).
+    pub fingerprint: String,
 }
 
 /// A classified source file handed to rule checks.
@@ -22,6 +51,8 @@ pub struct SourceFile<'a> {
     pub path: &'a str,
     /// Lexed lines (see [`crate::lexer::classify`]).
     pub lines: &'a [SourceLine],
+    /// The brace-matched syntax index (see [`crate::syntax::index`]).
+    pub syntax: &'a FileIndex,
 }
 
 /// One static-analysis rule.
@@ -35,6 +66,9 @@ pub struct Rule {
     pub scopes: &'static [&'static str],
     /// Exact paths fully exempt from the rule (audited allowlist).
     pub allow_files: &'static [&'static str],
+    /// The severity the rule reports at (the float pass downgrades
+    /// locally-unprovable sites to [`Severity::Warning`] per finding).
+    pub severity: Severity,
     check: fn(&SourceFile<'_>, &mut Vec<Finding>),
 }
 
@@ -97,6 +131,7 @@ pub fn default_rules() -> Vec<Rule> {
                       verdicts and stats must be a pure function of (scale, seed)",
             scopes: ENGINE_SRC,
             allow_files: &[],
+            severity: Severity::Error,
             check: check_wall_clock,
         },
         Rule {
@@ -105,6 +140,7 @@ pub fn default_rules() -> Vec<Rule> {
                       randomized iteration order leaks into persisted bytes",
             scopes: ORDERED_OUTPUT_PATHS,
             allow_files: &[],
+            severity: Severity::Error,
             check: check_unordered_iteration,
         },
         Rule {
@@ -112,6 +148,7 @@ pub fn default_rules() -> Vec<Rule> {
             summary: "unsafe only in allowlisted files, and always under a // SAFETY: comment",
             scopes: &[],
             allow_files: &[],
+            severity: Severity::Error,
             check: check_unsafe,
         },
         Rule {
@@ -119,6 +156,7 @@ pub fn default_rules() -> Vec<Rule> {
             summary: "Ordering::Relaxed only on justified monotonic counters",
             scopes: &["crates/"],
             allow_files: &[],
+            severity: Severity::Error,
             check: check_relaxed_atomics,
         },
         Rule {
@@ -126,6 +164,7 @@ pub fn default_rules() -> Vec<Rule> {
             summary: "time-like fields of serde-derived structs must be #[serde(skip)]",
             scopes: &[],
             allow_files: &[],
+            severity: Severity::Error,
             check: check_persisted_wall_field,
         },
         Rule {
@@ -133,7 +172,35 @@ pub fn default_rules() -> Vec<Rule> {
             summary: "OS-entropy RNGs and machine-topology APIs forbidden in verdict paths",
             scopes: ENGINE_SRC,
             allow_files: &[],
+            severity: Severity::Error,
             check: check_nondeterministic_api,
+        },
+        Rule {
+            name: "panic-path",
+            summary: "no unwrap/expect/panicking macros/direct indexing in wire-facing \
+                      code: daemons return structured errors, they do not unwind",
+            scopes: passes::PANIC_PATH_SCOPE,
+            allow_files: &[],
+            severity: Severity::Error,
+            check: passes::check_panic_path,
+        },
+        Rule {
+            name: "lock-discipline",
+            summary: "a Mutex/RwLock guard must not be live across blocking I/O, \
+                      waits, or pool fan-out: render under the lock, then block",
+            scopes: &["crates/"],
+            allow_files: &[],
+            severity: Severity::Error,
+            check: passes::check_lock_discipline,
+        },
+        Rule {
+            name: "float-reduction-order",
+            summary: "f32/f64 sum/product/fold need a totally ordered source: \
+                      float addition is not associative, bytes must not drift",
+            scopes: passes::FLOAT_ORDER_SCOPE,
+            allow_files: &[],
+            severity: Severity::Error,
+            check: passes::check_float_reduction_order,
         },
     ]
 }
@@ -181,6 +248,8 @@ fn token_rule(
                     path: file.path.to_string(),
                     line: idx + 1,
                     message: format!("`{needle}` {why}"),
+                    severity: Severity::Error,
+                    fingerprint: String::new(),
                 });
             }
         }
@@ -223,6 +292,8 @@ fn check_unsafe(file: &SourceFile<'_>, out: &mut Vec<Finding>) {
                 message: "`unsafe` outside the audited allowlist (crates/core/src/pool.rs); \
                           move the code there or extend the allowlist with an audit"
                     .to_string(),
+                severity: Severity::Error,
+                fingerprint: String::new(),
             });
             continue;
         }
@@ -238,6 +309,8 @@ fn check_unsafe(file: &SourceFile<'_>, out: &mut Vec<Finding>) {
                     "`unsafe` without a `// SAFETY:` comment in the preceding \
                      {SAFETY_WINDOW} lines stating the invariant that makes it sound"
                 ),
+                severity: Severity::Error,
+                fingerprint: String::new(),
             });
         }
     }
@@ -359,6 +432,8 @@ fn check_persisted_wall_field(file: &SourceFile<'_>, out: &mut Vec<Finding>) {
                             "serde-derived struct persists time-like field `{name}`; mark it \
                              `#[serde(skip)]` so artefacts stay machine- and load-independent"
                         ),
+                        severity: Severity::Error,
+                        fingerprint: String::new(),
                     });
                 }
             }

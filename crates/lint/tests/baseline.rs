@@ -1,0 +1,116 @@
+//! The fingerprint baseline end to end: content fingerprints survive
+//! line motion, `apply_baseline` splits active from grandfathered,
+//! stale entries surface, and only canonical baseline bytes are
+//! accepted.
+
+use abonn_lint::baseline::{self, Baseline};
+use abonn_lint::{apply_baseline, lint_source, LintReport};
+
+const VIOLATING: &str = "fn decode(line: &str) -> f64 {\n\
+                         \x20   parse(line).unwrap()\n\
+                         }\n";
+
+fn scan(src: &str) -> LintReport {
+    let out = lint_source("crates/serve/src/protocol.rs", src);
+    LintReport {
+        findings: out.findings,
+        suppressed: out.suppressed,
+        baselined: Vec::new(),
+        stale_baseline: Vec::new(),
+        files_scanned: 1,
+    }
+}
+
+#[test]
+fn fingerprints_survive_unrelated_line_motion() {
+    let a = scan(VIOLATING);
+    // Same content, pushed four lines down by new code above it.
+    let moved = format!("// a\n// b\nfn other() {{}}\n// c\n{VIOLATING}");
+    let b = scan(&moved);
+    assert_eq!(a.findings.len(), 1);
+    assert_eq!(b.findings.len(), 1);
+    assert_ne!(a.findings[0].line, b.findings[0].line);
+    assert_eq!(
+        a.findings[0].fingerprint, b.findings[0].fingerprint,
+        "content fingerprints must not depend on line numbers"
+    );
+}
+
+#[test]
+fn duplicate_content_gets_distinct_ordinal_fingerprints() {
+    let twice = "fn a(line: &str) -> f64 {\n\
+                 \x20   parse(line).unwrap()\n\
+                 }\n\
+                 fn b(line: &str) -> f64 {\n\
+                 \x20   parse(line).unwrap()\n\
+                 }\n";
+    let rep = scan(twice);
+    assert_eq!(rep.findings.len(), 2, "{:#?}", rep.findings);
+    assert_ne!(
+        rep.findings[0].fingerprint, rep.findings[1].fingerprint,
+        "identical content lines must still get distinct fingerprints"
+    );
+}
+
+#[test]
+fn apply_baseline_splits_active_from_grandfathered() {
+    let mut rep = scan(VIOLATING);
+    let base = Baseline::from_findings(&rep.findings);
+    apply_baseline(&mut rep, &base);
+    assert!(rep.findings.is_empty(), "{:#?}", rep.findings);
+    assert_eq!(rep.baselined.len(), 1);
+    assert!(rep.stale_baseline.is_empty());
+    assert!(rep.is_clean(), "baselined findings must not gate");
+}
+
+#[test]
+fn new_findings_still_gate_alongside_a_baseline() {
+    let mut rep = scan(VIOLATING);
+    let base = Baseline::from_findings(&rep.findings);
+    // The same old finding plus a brand-new one.
+    let grown = format!("{VIOLATING}fn fresh(v: Val) -> f64 {{\n\
+                         \x20   v.field.expect(\"present\")\n\
+                         }}\n");
+    rep = scan(&grown);
+    apply_baseline(&mut rep, &base);
+    assert_eq!(rep.baselined.len(), 1);
+    assert_eq!(rep.findings.len(), 1, "{:#?}", rep.findings);
+    assert!(!rep.is_clean(), "the new finding must gate");
+}
+
+#[test]
+fn fixed_findings_surface_as_stale_entries() {
+    let rep = scan(VIOLATING);
+    let base = Baseline::from_findings(&rep.findings);
+    let mut clean = scan("fn decode(line: &str) -> Option<f64> {\n\
+                          \x20   parse(line).ok()\n\
+                          }\n");
+    assert!(clean.findings.is_empty());
+    apply_baseline(&mut clean, &base);
+    assert_eq!(clean.stale_baseline.len(), 1);
+}
+
+#[test]
+fn render_parse_roundtrip_is_canonical() {
+    let rep = scan(VIOLATING);
+    let base = Baseline::from_findings(&rep.findings);
+    let text = baseline::render(&base);
+    let parsed = baseline::parse(&text).expect("canonical bytes parse");
+    assert_eq!(parsed.entries, base.entries);
+    assert_eq!(baseline::render(&parsed), text, "render is a fixed point");
+}
+
+#[test]
+fn non_canonical_bytes_are_rejected() {
+    let rep = scan(VIOLATING);
+    let base = Baseline::from_findings(&rep.findings);
+    let text = baseline::render(&base);
+    // Same JSON value, different bytes (extra spaces): must be refused
+    // so hand-edits can't silently drift the committed file.
+    let loose = text.replace("{\"fingerprint\"", "{ \"fingerprint\"");
+    assert_ne!(loose, text);
+    assert!(
+        baseline::parse(&loose).is_err(),
+        "non-canonical baseline bytes must be rejected"
+    );
+}

@@ -752,7 +752,8 @@ impl Tableau {
                 *c = 1.0;
             }
             let status = self.optimize(&phase1)?;
-            let infeas: f64 = self.x[self.first_artificial..].iter().sum();
+            let artificial: &[f64] = &self.x[self.first_artificial..];
+            let infeas: f64 = artificial.iter().sum();
             if status != Status::Optimal || infeas > 1e-6 {
                 return Ok(Status::Infeasible);
             }

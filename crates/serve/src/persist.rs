@@ -275,15 +275,7 @@ impl ResultStore {
     ///
     /// [`SnapshotError::Io`] on filesystem failures.
     pub fn write_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
-        let text = self.snapshot_string();
-        let mut tmp_name = path
-            .file_name()
-            .map(std::ffi::OsStr::to_os_string)
-            .ok_or_else(|| SnapshotError::Io(format!("{} has no file name", path.display())))?;
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        std::fs::write(&tmp, text + "\n").map_err(|e| SnapshotError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))
+        write_snapshot_text(&self.snapshot_string(), path)
     }
 
     /// Loads a snapshot file written by [`ResultStore::write_snapshot`].
@@ -463,6 +455,28 @@ impl ResultStore {
         }
         Ok((store, report))
     }
+}
+
+/// Writes an already-rendered snapshot document atomically: a sibling
+/// `*.tmp` file is renamed over `path`, so readers (and crashes) only
+/// ever see a complete document.
+///
+/// Split from [`ResultStore::write_snapshot`] so callers that share the
+/// store behind a mutex can render under the lock and perform the file
+/// I/O after dropping the guard.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on filesystem failures.
+pub fn write_snapshot_text(text: &str, path: &Path) -> Result<(), SnapshotError> {
+    let mut tmp_name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .ok_or_else(|| SnapshotError::Io(format!("{} has no file name", path.display())))?;
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, text.to_string() + "\n").map_err(|e| SnapshotError::Io(e.to_string()))?;
+    std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))
 }
 
 #[cfg(test)]

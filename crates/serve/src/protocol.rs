@@ -92,6 +92,7 @@ pub fn error_line(id: &Value, message: &str) -> String {
         ("status", Value::String("error".into())),
         ("error", Value::String(message.into())),
     ]))
+    // lint: allow(panic-path, in-memory Value trees serialise infallibly: no I/O and no foreign Serialize impls)
     .expect("value tree serialises")
 }
 

@@ -270,6 +270,7 @@ impl Server {
         self.execute_wave(wave);
         let fill_from = responses.len() - wave.len();
         for (i, item) in wave.drain(..).enumerate() {
+            // lint: allow(panic-path, fill_from is responses.len() minus wave.len() so fill_from + i stays in range for every drained i)
             responses[fill_from + i] = match item {
                 Planned::Blank => None,
                 Planned::Ready(line) => Some(line),
@@ -309,6 +310,7 @@ impl Server {
             run_engine(&pool, job, budget, clamped)
         });
         for (slot, outcome) in slots.into_iter().zip(outcomes) {
+            // lint: allow(panic-path, every slot came from enumerate over this same wave earlier in the call)
             if let Planned::Query(q) = &mut wave[slot] {
                 q.outcome = Some(outcome);
             }
@@ -344,12 +346,17 @@ impl Server {
             // inline, exactly where the sequential daemon would.
             None => match self.build_job(&q.model, &q.plan, &q.req) {
                 Ok(job) => {
-                    let (budget, clamped) = Budget::admit_slices(
+                    // admit_slices returns one slice per input; an empty
+                    // vector would be an admission bug, answered as an
+                    // error rather than a daemon panic.
+                    let admitted = Budget::admit_slices(
                         &[job.requested],
                         self.config.max_calls,
                     )
-                    .pop()
-                    .expect("one slice per request");
+                    .pop();
+                    let Some((budget, clamped)) = admitted else {
+                        return error_line(&q.req.id, "budget admission produced no slice");
+                    };
                     let pool = Arc::clone(&self.pool);
                     run_engine(&pool, job, budget, clamped)
                 }

@@ -307,10 +307,13 @@ impl Server {
                 .map(|(l, h)| 0.5 * (l + h))
                 .collect(),
         };
-        if let Some(i) = center.iter().position(|c| !(0.0..=1.0).contains(c)) {
+        if let Some((i, c)) = center
+            .iter()
+            .enumerate()
+            .find(|(_, c)| !(0.0..=1.0).contains(*c))
+        {
             return Err(format!(
-                "center coordinate {i} = {} is outside the [0, 1] input domain",
-                center[i]
+                "center coordinate {i} = {c} is outside the [0, 1] input domain"
             ));
         }
         let family =
@@ -452,9 +455,12 @@ impl Server {
                     Some(Ok(())) => audited = true,
                     None => {}
                 }
-                let cert = outcome
-                    .certificate
-                    .expect("verified runs carry a certificate");
+                // An engine reporting Verified without a certificate is
+                // broken; answer this client with an error instead of
+                // unwinding the daemon thread.
+                let Some(cert) = outcome.certificate else {
+                    return error_line(&req.id, "verified outcome carried no certificate");
+                };
                 self.store.insert(
                     plan.family,
                     plan.epsilon,
@@ -588,6 +594,7 @@ fn push_store_fields(
 }
 
 fn render(fields: &[(&str, Value)]) -> String {
+    // lint: allow(panic-path, in-memory Value trees serialise infallibly: no I/O and no foreign Serialize impls)
     serde_json::to_string(&obj(fields.to_vec())).expect("value tree serialises")
 }
 

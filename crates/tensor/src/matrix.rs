@@ -616,6 +616,7 @@ impl Matrix {
     /// Frobenius norm.
     #[must_use]
     pub fn frobenius_norm(&self) -> f64 {
+        // lint: allow(float-reduction-order, self.data is the row-major Vec backing store so iteration is storage ordered)
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 

@@ -227,8 +227,8 @@ fn parse_checked(text: &str) -> Result<Property, ParseError> {
     }
     lo.resize(n_inputs, f64::NEG_INFINITY);
     hi.resize(n_inputs, f64::INFINITY);
-    for i in 0..n_inputs {
-        if !lo[i].is_finite() || !hi[i].is_finite() {
+    for (i, (l, h)) in lo.iter().zip(&hi).enumerate() {
+        if !l.is_finite() || !h.is_finite() {
             return Err(ParseError::IncompleteInputBox(i));
         }
     }
@@ -280,13 +280,13 @@ fn parse_assert(
             ) = (&ea, &eb)
             {
                 debug_assert_eq!(*coeff, 1.0);
-                if *i >= lo.len() {
+                let (Some(l), Some(h)) = (lo.get_mut(*i), hi.get_mut(*i)) else {
                     return Err(ParseError::Unsupported(format!("undeclared input X_{i}")));
-                }
+                };
                 if op == "<=" {
-                    hi[*i] = hi[*i].min(*constant);
+                    *h = h.min(*constant);
                 } else {
-                    lo[*i] = lo[*i].max(*constant);
+                    *l = l.max(*constant);
                 }
                 return Ok(());
             }

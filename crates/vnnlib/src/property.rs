@@ -66,6 +66,7 @@ impl LinearTerm {
         self.coeffs
             .iter()
             .map(|(&j, &c)| c * y.get(j).copied().unwrap_or(0.0))
+            // lint: allow(float-reduction-order, coeffs is a BTreeMap so iteration is ascending-key ordered and machine independent)
             .sum::<f64>()
             + self.constant
     }

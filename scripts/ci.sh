@@ -11,13 +11,20 @@ cargo build --release
 echo "== tier 1: tests =="
 cargo test -q
 
-echo "== lints: abonn-lint determinism & soundness gate =="
-# Hard gate: exits non-zero on any active finding. The JSON findings
-# report is kept as a build artefact for trend tracking across PRs.
+echo "== lints: abonn-lint determinism & soundness gate (baseline-aware) =="
+# Hard gate: exits non-zero on any finding not grandfathered by the
+# committed lint-baseline.json. The JSON and SARIF reports are kept as
+# build artefacts for trend tracking and code-scanning upload; the rule
+# roster is pinned by a committed golden so adding/renaming a rule (or
+# changing a severity) is a deliberate, reviewed act.
 cargo run --release -q -p abonn-bench --bin lint
 mkdir -p target/experiments
 cargo run --release -q -p abonn-bench --bin lint -- --json \
     > target/experiments/lint-findings.json
+cargo run --release -q -p abonn-bench --bin lint -- --sarif \
+    > target/experiments/lint-findings.sarif
+cargo run --release -q -p abonn-bench --bin lint -- --list-rules \
+    | diff scripts/lint-rules.golden -
 
 echo "== lints: clippy with warnings denied =="
 cargo clippy -q --workspace --all-targets -- -D warnings
@@ -54,13 +61,20 @@ for report in "$out2"/rq1-smoke-2025.* "$out2"/table2.csv; do
     diff "$report" "$outnw/$(basename "$report")"
 done
 
-echo "== benches: warm-start LP micro-benchmarks (archived as BENCH_lp.json) =="
+echo "== benches: warm-start LP micro-benchmarks (trajectory in perf/BENCH_lp.jsonl) =="
 rm -f target/experiments/BENCH_lp.json
 ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_lp.json" \
     cargo bench -q -p abonn-lp --bench simplex_warm
 ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_lp.json" \
     cargo bench -q -p abonn-bound --bench triangle_lp
 test -s target/experiments/BENCH_lp.json
+# The committed trajectory pins the bench roster: a dropped or renamed
+# bench fails the diff and must update perf/BENCH_lp.jsonl deliberately.
+# Fresh timings are then appended so the file accumulates a perf history
+# across CI runs (commit the growth when it is worth keeping).
+diff <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' perf/BENCH_lp.jsonl | sort -u) \
+     <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' target/experiments/BENCH_lp.json | sort -u)
+cat target/experiments/BENCH_lp.json >> perf/BENCH_lp.jsonl
 
 echo "== soundness: fixed-seed differential fuzz smoke =="
 outfz=$(mktemp -d)
