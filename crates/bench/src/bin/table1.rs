@@ -4,5 +4,6 @@ use abonn_bench::{experiments, Args};
 
 fn main() {
     let args = Args::from_env();
+    args.apply_substrate();
     print!("{}", experiments::table1(&args));
 }

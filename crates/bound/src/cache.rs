@@ -6,8 +6,8 @@
 //! region, and the splits on layers `< L` — all shared with the parent —
 //! so they can be served verbatim from the parent's [`BoundPrefix`] and
 //! only layers `L..K` need re-running. The recomputed suffix executes the
-//! exact same code path (same summation order, same zero-skips) as a
-//! from-scratch pass, so cached and uncached results are bit-for-bit
+//! exact same code path (same kernels, same per-element summation order)
+//! as a from-scratch pass, so cached and uncached results are bit-for-bit
 //! identical.
 
 use crate::deeppoly::RelaxMode;
@@ -94,6 +94,18 @@ pub struct BoundComputeStats {
     /// Total back-substitution rows considered (denominator for the
     /// skipped-row ratio).
     pub backsub_rows_total: usize,
+    /// Contiguous masked column blocks elided structurally by the
+    /// block-sparse fused kernels (one count per gap per kernel call).
+    /// Counted identically on both substrates so the fuzzer can assert
+    /// substrate-invariance.
+    pub blocks_skipped: usize,
+    /// Peak logical footprint of the back-substitution scratch arena in
+    /// bytes (length-based, so identical whether the arena is fresh or
+    /// recycled). Combined by maximum, not sum.
+    pub arena_bytes_peak: usize,
+    /// Simplex basis-update cell writes across all LP solves — the
+    /// per-pivot work metric the revised simplex reduces.
+    pub lp_pivot_cells: usize,
 }
 
 impl BoundComputeStats {
@@ -107,6 +119,9 @@ impl BoundComputeStats {
         self.lp_cold_solves += other.lp_cold_solves;
         self.backsub_rows_skipped += other.backsub_rows_skipped;
         self.backsub_rows_total += other.backsub_rows_total;
+        self.blocks_skipped += other.blocks_skipped;
+        self.arena_bytes_peak = self.arena_bytes_peak.max(other.arena_bytes_peak);
+        self.lp_pivot_cells += other.lp_pivot_cells;
     }
 }
 

@@ -9,6 +9,7 @@
 //! than [`Ibp`](crate::Ibp)) and tightened by the sub-problem's split
 //! constraints before the stage's own ReLU relaxation is formed.
 
+use crate::arena::{ArenaLease, BoundArena};
 use crate::cache::{BoundComputeStats, BoundPrefix, CachedAnalysis};
 use crate::ibp::Ibp;
 use crate::relax::{apply_split, ReluRelaxation};
@@ -157,19 +158,23 @@ pub(crate) fn compute_bounds_engine(
         stats.layers_reused += start;
     }
 
-    let mut scratch = BackSubScratch::default();
+    // Leased, not allocated: the thread's arena holds every scratch
+    // buffer back-substitution needs, sized once per network. The RAII
+    // lease also covers the infeasible `return None` below.
+    let mut lease = ArenaLease::take();
+    let scratch: &mut BoundArena = &mut lease;
     let mut out_low: Option<Matrix> = None;
 
     for k in start..num_layers {
         stats.layers_recomputed += 1;
         stats.backsub_steps += k;
-        let (lo_const, hi_const) = back_substitute(net, k, &relaxations, &mut scratch, stats);
+        back_substitute(net, k, &relaxations, scratch, stats);
         let n = net.layers()[k].out_dim();
         let mut lo = vec![0.0; n];
         let mut hi = vec![0.0; n];
         for s in 0..n {
-            lo[s] = concretize_min(scratch.lo_a.row(s), region) + lo_const[s];
-            hi[s] = concretize_max(scratch.hi_a.row(s), region) + hi_const[s];
+            lo[s] = concretize_min(scratch.lo_a.row(s), region) + scratch.lo_c[s];
+            hi[s] = concretize_max(scratch.hi_a.row(s), region) + scratch.hi_c[s];
         }
         // Intersect with IBP so DeepPoly never reports looser bounds
         // (skipped in the deliberately-loose Planet mode).
@@ -238,31 +243,13 @@ pub(crate) fn compute_bounds_engine(
     })
 }
 
-/// Reusable buffers for [`back_substitute`], amortising the per-step
-/// matrix allocations across all stages of a bound computation. After a
-/// call, `lo_a`/`hi_a` hold stage `k`'s lower/upper coefficients over the
-/// input vector.
-#[derive(Default)]
-struct BackSubScratch {
-    lo_a: Matrix,
-    hi_a: Matrix,
-    lo_next: Matrix,
-    hi_next: Matrix,
-    /// Per-neuron "relaxation is identically zero" mask for the current
-    /// substitution step (inactive or split-fixed-inactive neurons).
-    skip: Vec<bool>,
-    /// Per-neuron "relaxation is the identity" mask (active or
-    /// split-fixed-active neurons) — substitution is a no-op there.
-    ident: Vec<bool>,
-}
-
 /// Back-substitutes stage `k`'s pre-activation expressions down to the
 /// input: coefficients land in `scratch.lo_a` / `scratch.hi_a`, the
-/// constant terms are returned as `(lower_consts, upper_consts)`.
+/// constant terms in `scratch.lo_c` / `scratch.hi_c`.
 ///
-/// Each `A ← A·W, c ← c + A·b` step runs as one fused kernel
-/// ([`Matrix::fused_affine_into_masked`]) into a swap buffer — no per-step
-/// allocation — with the same summation order and zero-skip as the
+/// Each `A ← A·W, c ← c + A·b` step runs as one fused kernel into a swap
+/// buffer — no per-step allocation, every buffer living in the leased
+/// [`BoundArena`] — with the same per-element summation order as the
 /// original dot + matmul formulation.
 ///
 /// Stable-neuron sparsity: neurons whose relaxation is identically zero
@@ -276,18 +263,28 @@ struct BackSubScratch {
 /// and therefore can never hold `-0.0`. As splits deepen, most neurons
 /// become stable and the effective substitution width collapses —
 /// `stats.backsub_rows_skipped` counts the elided rows.
+///
+/// Block sparsity: the per-neuron mask is condensed once per step into
+/// maximal unmasked column runs; on the default substrate the fused
+/// kernel walks those runs ([`Matrix::fused_affine_into_runs`]), skipping
+/// whole masked blocks structurally instead of testing every column. The
+/// covered columns are visited in the same ascending order either way, so
+/// both substrates agree bit-for-bit; `stats.blocks_skipped` counts the
+/// elided gaps on both.
 fn back_substitute(
     net: &CanonicalNetwork,
     k: usize,
     relaxations: &[Vec<ReluRelaxation>],
-    scratch: &mut BackSubScratch,
+    scratch: &mut BoundArena,
     stats: &mut BoundComputeStats,
-) -> (Vec<f64>, Vec<f64>) {
+) {
     let stage = &net.layers()[k];
     scratch.lo_a.copy_from(&stage.weight);
     scratch.hi_a.copy_from(&stage.weight);
-    let mut lo_c = stage.bias.clone();
-    let mut hi_c = stage.bias.clone();
+    scratch.lo_c.clear();
+    scratch.lo_c.extend_from_slice(&stage.bias);
+    scratch.hi_c.clear();
+    scratch.hi_c.extend_from_slice(&stage.bias);
 
     for j in (0..k).rev() {
         let relax = &relaxations[j];
@@ -306,9 +303,34 @@ fn back_substitute(
         // row entirely.
         stats.backsub_rows_total += 2 * relax.len();
         stats.backsub_rows_skipped += 2 * stable;
+        // Condense the mask into its maximal unmasked runs (shared by the
+        // lower and upper kernel calls); the gap count feeds the
+        // substrate-invariant `blocks_skipped` counter on both paths.
+        scratch.runs.clear();
+        let mut run_start = None;
+        for (t, &sk) in scratch.skip.iter().enumerate() {
+            match (sk, run_start) {
+                (false, None) => run_start = Some(t),
+                (true, Some(s)) => {
+                    scratch.runs.push((s, t));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = run_start {
+            scratch.runs.push((s, scratch.skip.len()));
+        }
+        let mut gap_blocks = 0usize;
+        let mut in_gap = false;
+        for &sk in &scratch.skip {
+            gap_blocks += usize::from(sk && !in_gap);
+            in_gap = sk;
+        }
+        stats.blocks_skipped += 2 * gap_blocks;
         substitute_relu(
             &mut scratch.lo_a,
-            &mut lo_c,
+            &mut scratch.lo_c,
             relax,
             true,
             &scratch.skip,
@@ -316,7 +338,7 @@ fn back_substitute(
         );
         substitute_relu(
             &mut scratch.hi_a,
-            &mut hi_c,
+            &mut scratch.hi_c,
             relax,
             false,
             &scratch.skip,
@@ -324,24 +346,47 @@ fn back_substitute(
         );
         let prev = &net.layers()[j];
         // Expression over z_j = W_j a_{j-1} + b_j → over a_{j-1}.
-        scratch.lo_a.fused_affine_into_masked(
-            &prev.weight,
-            &prev.bias,
-            &mut lo_c,
-            &mut scratch.lo_next,
-            &scratch.skip,
-        );
+        if abonn_tensor::reference_kernels() {
+            scratch.lo_a.fused_affine_into_masked(
+                &prev.weight,
+                &prev.bias,
+                &mut scratch.lo_c,
+                &mut scratch.lo_next,
+                &scratch.skip,
+            );
+        } else {
+            scratch.lo_a.fused_affine_into_runs(
+                &prev.weight,
+                &prev.bias,
+                &mut scratch.lo_c,
+                &mut scratch.lo_next,
+                &scratch.runs,
+            );
+        }
         std::mem::swap(&mut scratch.lo_a, &mut scratch.lo_next);
-        scratch.hi_a.fused_affine_into_masked(
-            &prev.weight,
-            &prev.bias,
-            &mut hi_c,
-            &mut scratch.hi_next,
-            &scratch.skip,
-        );
+        if abonn_tensor::reference_kernels() {
+            scratch.hi_a.fused_affine_into_masked(
+                &prev.weight,
+                &prev.bias,
+                &mut scratch.hi_c,
+                &mut scratch.hi_next,
+                &scratch.skip,
+            );
+        } else {
+            scratch.hi_a.fused_affine_into_runs(
+                &prev.weight,
+                &prev.bias,
+                &mut scratch.hi_c,
+                &mut scratch.hi_next,
+                &scratch.runs,
+            );
+        }
         std::mem::swap(&mut scratch.hi_a, &mut scratch.hi_next);
+        // Length-based footprint after the swaps, when every buffer's
+        // logical size is determined by this node's own computation
+        // (never by stale contents from a previous lease).
+        stats.arena_bytes_peak = stats.arena_bytes_peak.max(scratch.live_bytes());
     }
-    (lo_c, hi_c)
 }
 
 /// Replaces coefficients over post-activations `a_j` with coefficients

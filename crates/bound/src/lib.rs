@@ -43,6 +43,7 @@
 //! ```
 
 mod alpha;
+mod arena;
 mod beta;
 mod cache;
 mod cascade;

@@ -248,22 +248,27 @@ impl LpVerifier {
         let mut candidate: Option<Vec<f64>> = None;
         let out_bounds = bounds.last().expect("non-empty").clone();
         let mut new_lower = out_bounds.lower.clone();
+        // One objective buffer reused across the per-row solves: the rows
+        // differ only in which coefficient is 1.0, and `set_objective`
+        // overwrites in place, so the former per-row `base.clone()` (a
+        // full copy of the constraint matrix) is gone.
+        let mut obj = vec![0.0; total];
         for r in 0..n_out {
             if out_bounds.lower[r] > 0.0 {
                 p_hat = p_hat.min(out_bounds.lower[r]);
                 continue;
             }
-            let mut prob = base.clone();
-            let mut obj = vec![0.0; total];
             obj[out_off + r] = 1.0;
-            prob.set_objective(&obj);
+            base.set_objective(&obj);
             let res = match &warm {
-                Some(w) => prob.solve_warm(w),
-                None => prob.solve(),
+                Some(w) => base.solve_warm(w),
+                None => base.solve(),
             };
+            obj[out_off + r] = 0.0;
             match res {
                 Ok(sol) => {
                     stats.lp_pivots += sol.pivots;
+                    stats.lp_pivot_cells += sol.pivot_cells;
                     if sol.warmed {
                         stats.lp_warm_hits += 1;
                     } else {

@@ -13,8 +13,11 @@
 //!   property under a concrete forward pass.
 //! * **Stats determinism** — `RunStats` must be identical across thread
 //!   counts (modulo wall time), identical across cache settings modulo
-//!   wall time and the cache work counters, and identical across
-//!   warm-start settings modulo wall time and the LP work counters.
+//!   wall time and the cache work counters, identical across warm-start
+//!   settings modulo wall time and the LP work counters, and identical
+//!   across kernel/LP substrates (optimized vs `--reference-kernels`)
+//!   modulo wall time and the per-pivot cell counter — including the
+//!   certificate bytes.
 //! * **Certificate audits** — verified runs must produce certificates
 //!   that pass [`crate::audit::audit_certificate`]; timed-out runs must
 //!   produce partial certificates that pass
@@ -25,6 +28,7 @@
 
 use crate::audit::{audit_certificate, audit_partial};
 use abonn_bound::DeepPoly;
+use std::sync::Mutex;
 use abonn_core::heuristics::HeuristicKind;
 use abonn_core::{
     AbonnConfig, AbonnVerifier, BabBaseline, Budget, Certificate, RobustnessProblem, RunResult,
@@ -164,6 +168,13 @@ pub struct CampaignOutcome {
     pub failures: Vec<(FuzzCase, FuzzFailure)>,
 }
 
+/// Serialises whole-variant-sweep executions: the reference-substrate
+/// variants flip the process-global kernel/LP switches, and a flip
+/// landing mid-sweep in a concurrent `run_case` would perturb that
+/// sweep's `lp_pivot_cells` comparisons (results are substrate-invariant,
+/// the per-pivot work metric deliberately is not).
+static SUBSTRATE_SWEEP: Mutex<()> = Mutex::new(());
+
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Deterministically derives case `index` of campaign `seed`.
@@ -263,6 +274,9 @@ struct VariantRun {
 
 /// Runs every engine variant on the case's problem.
 fn run_variants(problem: &RobustnessProblem, budget: &Budget) -> Vec<VariantRun> {
+    let _sweep = SUBSTRATE_SWEEP
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let planet = || Arc::new(DeepPoly::planet());
     let abonn = |cache: bool, warm: bool, threads: usize| {
         AbonnVerifier::new(
@@ -329,6 +343,25 @@ fn run_variants(problem: &RobustnessProblem, budget: &Budget) -> Vec<VariantRun>
         result,
         certificate,
     });
+    // Reference-substrate ablations: naive rolled kernels + the dense
+    // simplex engine must reproduce the cache/1t runs exactly (modulo
+    // the per-pivot cell counter).
+    abonn_tensor::set_reference_kernels(true);
+    abonn_lp::set_reference_solver(true);
+    let (result, certificate) = abonn(true, true, 1).verify_with_certificate(problem, budget);
+    runs.push(VariantRun {
+        name: "abonn/cache/1t/ref",
+        result,
+        certificate,
+    });
+    let (result, certificate) = bab(true, true, 1).verify_with_certificate(problem, budget);
+    runs.push(VariantRun {
+        name: "bab/cache/1t/ref",
+        result,
+        certificate,
+    });
+    abonn_tensor::set_reference_kernels(false);
+    abonn_lp::set_reference_solver(false);
     runs
 }
 
@@ -344,6 +377,8 @@ fn strip_cache_counters(mut s: RunStats) -> RunStats {
     s.backsub_steps = 0;
     s.backsub_rows_skipped = 0;
     s.backsub_rows_total = 0;
+    s.blocks_skipped = 0;
+    s.arena_bytes_peak = 0;
     s
 }
 
@@ -354,6 +389,16 @@ fn strip_warm_counters(mut s: RunStats) -> RunStats {
     s.lp_pivots = 0;
     s.lp_warm_hits = 0;
     s.lp_cold_solves = 0;
+    s.lp_pivot_cells = 0;
+    s
+}
+
+/// The reference substrate (rolled kernels, dense simplex) must
+/// reproduce every counter except the per-pivot work metric — the dense
+/// engine rewrites more cells per basis change by design.
+fn strip_substrate_counters(mut s: RunStats) -> RunStats {
+    s.wall = Duration::ZERO;
+    s.lp_pivot_cells = 0;
     s
 }
 
@@ -478,6 +523,33 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseReport, FuzzFailure> {
             return Err(fail(
                 FailureKind::VerdictDisagreement,
                 format!("{} vs {}: warm starting changed the verdict", ra.name, rb.name),
+            ));
+        }
+    }
+
+    // Identical across substrates modulo per-pivot cells, down to the
+    // certificate bytes.
+    for (a, b) in [(0usize, 9usize), (3, 10)] {
+        let (ra, rb) = (&runs[a], &runs[b]);
+        if strip_substrate_counters(ra.result.stats) != strip_substrate_counters(rb.result.stats) {
+            return Err(fail(
+                FailureKind::StatsMismatch,
+                format!(
+                    "{} vs {}: {:?} != {:?}",
+                    ra.name, rb.name, ra.result.stats, rb.result.stats
+                ),
+            ));
+        }
+        if ra.result.verdict != rb.result.verdict {
+            return Err(fail(
+                FailureKind::VerdictDisagreement,
+                format!("{} vs {}: the substrate changed the verdict", ra.name, rb.name),
+            ));
+        }
+        if ra.certificate != rb.certificate {
+            return Err(fail(
+                FailureKind::CertificateRejected,
+                format!("{} vs {}: the substrate changed the certificate", ra.name, rb.name),
             ));
         }
     }

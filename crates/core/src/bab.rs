@@ -180,6 +180,9 @@ impl BabBaseline {
                 lp_cold_solves: clock.bound_stats.lp_cold_solves,
                 backsub_rows_skipped: clock.bound_stats.backsub_rows_skipped,
                 backsub_rows_total: clock.bound_stats.backsub_rows_total,
+                blocks_skipped: clock.bound_stats.blocks_skipped,
+                arena_bytes_peak: clock.bound_stats.arena_bytes_peak,
+                lp_pivot_cells: clock.bound_stats.lp_pivot_cells,
                 wall: clock.elapsed(),
             },
         };

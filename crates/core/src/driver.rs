@@ -142,6 +142,16 @@ pub struct RunStats {
     pub backsub_rows_skipped: usize,
     /// Total back-substitution rows considered (skip-ratio denominator).
     pub backsub_rows_total: usize,
+    /// Contiguous masked column blocks elided structurally by the
+    /// block-sparse back-substitution kernels (substrate-invariant).
+    pub blocks_skipped: usize,
+    /// Peak logical footprint of the back-substitution scratch arena in
+    /// bytes (length-based, so identical whether the arena is fresh or
+    /// recycled).
+    pub arena_bytes_peak: usize,
+    /// Simplex basis-update cell writes across all LP solves — the
+    /// per-pivot work metric the revised simplex reduces.
+    pub lp_pivot_cells: usize,
     /// Measured wall time.
     pub wall: Duration,
 }
@@ -152,7 +162,8 @@ impl std::fmt::Display for RunStats {
             f,
             "{} AppVer calls, {} nodes visited, tree size {}, depth {}, \
              {} backsub steps ({} layers reused / {} recomputed, \
-             {}/{} rows skipped), {} LP pivots ({} warm / {} cold solves), \
+             {}/{} rows skipped, {} blocks elided, arena peak {} B), \
+             {} LP pivots ({} cells, {} warm / {} cold solves), \
              {:.3}s",
             self.appver_calls,
             self.nodes_visited,
@@ -163,7 +174,10 @@ impl std::fmt::Display for RunStats {
             self.cache_layers_recomputed,
             self.backsub_rows_skipped,
             self.backsub_rows_total,
+            self.blocks_skipped,
+            self.arena_bytes_peak,
             self.lp_pivots,
+            self.lp_pivot_cells,
             self.lp_warm_hits,
             self.lp_cold_solves,
             self.wall.as_secs_f64()
@@ -330,6 +344,9 @@ mod tests {
             lp_cold_solves: 2,
             backsub_rows_skipped: 18,
             backsub_rows_total: 60,
+            blocks_skipped: 7,
+            arena_bytes_peak: 4096,
+            lp_pivot_cells: 925,
             wall: Duration::from_millis(1500),
         };
         let text = stats.to_string();
@@ -337,7 +354,10 @@ mod tests {
         assert!(text.contains("45 backsub steps"));
         assert!(text.contains("20 layers reused"));
         assert!(text.contains("18/60 rows skipped"));
+        assert!(text.contains("7 blocks elided"));
+        assert!(text.contains("arena peak 4096 B"));
         assert!(text.contains("37 LP pivots"));
+        assert!(text.contains("925 cells"));
         assert!(text.contains("4 warm / 2 cold solves"));
         assert!(text.contains("1.500s"));
     }

@@ -45,15 +45,18 @@
 use crate::rules::{Finding, Severity, SourceFile};
 use crate::syntax::{is_keyword, Binding, FileIndex, Token, TokenKind};
 
-/// Files whose code runs on the daemon's wire paths: request decode,
+/// Files whose code runs on the daemon's wire paths — request decode,
 /// scheduling, response encode, persistence, and the VNN-LIB property
-/// parser fed with client-controlled bytes.
+/// parser fed with client-controlled bytes — plus the tensor hot-kernel
+/// module, where a panicking branch would also defeat the
+/// bounds-check-free loop shapes the kernels rely on.
 pub const PANIC_PATH_SCOPE: &[&str] = &[
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/scheduler.rs",
     "crates/serve/src/persist.rs",
     "crates/vnnlib/src/",
+    "crates/tensor/src/kernels.rs",
 ];
 
 /// Crates whose float arithmetic decides verdicts, bounds, or persisted

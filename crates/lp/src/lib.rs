@@ -26,6 +26,8 @@
 //! # Ok::<(), abonn_lp::SolveError>(())
 //! ```
 
+mod revised;
 mod simplex;
 
+pub use revised::{reference_solver, set_reference_solver};
 pub use simplex::{Problem, Relation, Sense, Solution, SolveError, Status, WarmStart};

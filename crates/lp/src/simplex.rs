@@ -11,9 +11,9 @@ use std::fmt;
 
 /// Feasibility tolerance: a value within `FEAS_TOL` of a bound counts as on
 /// the bound.
-const FEAS_TOL: f64 = 1e-7;
+pub(crate) const FEAS_TOL: f64 = 1e-7;
 /// Pivot / reduced-cost tolerance.
-const PIVOT_TOL: f64 = 1e-9;
+pub(crate) const PIVOT_TOL: f64 = 1e-9;
 
 /// Direction of optimisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +84,11 @@ pub struct Solution {
     /// combined. A call-based work counter: independent of wall time and
     /// identical across machines.
     pub pivots: usize,
+    /// Cell writes spent on basis-change updates across the solve: tableau
+    /// row eliminations for the dense path, FTRAN plus basis-inverse eta
+    /// updates for the revised path. Like `pivots`, a call-based counter —
+    /// the per-pivot work metric the revised simplex reduces.
+    pub pivot_cells: usize,
     /// `true` when the solve started from an installed [`WarmStart`] basis
     /// (`false` for cold solves and for warm solves that fell back to the
     /// two-phase path because the basis was unrecoverable).
@@ -96,7 +101,7 @@ pub struct Solution {
 
 /// Where a nonbasic variable rests in a [`WarmStart`] snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Rest {
+pub(crate) enum Rest {
     Lower,
     Upper,
     Free,
@@ -112,13 +117,13 @@ enum Rest {
 /// coefficients, or objective change.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WarmStart {
-    n: usize,
-    m: usize,
+    pub(crate) n: usize,
+    pub(crate) m: usize,
     /// Basic variable per row: structural `0..n`, slack `n..n + m`.
-    basis: Vec<usize>,
+    pub(crate) basis: Vec<usize>,
     /// Rest side of every structural and slack variable (entries for basic
     /// variables are placeholders).
-    rests: Vec<Rest>,
+    pub(crate) rests: Vec<Rest>,
 }
 
 /// A linear program with per-variable bounds.
@@ -147,14 +152,14 @@ pub struct WarmStart {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Problem {
-    n: usize,
-    sense: Sense,
-    objective: Vec<f64>,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    rows: Vec<Vec<f64>>,
-    relations: Vec<Relation>,
-    rhs: Vec<f64>,
+    pub(crate) n: usize,
+    pub(crate) sense: Sense,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) rows: Vec<Vec<f64>>,
+    pub(crate) relations: Vec<Relation>,
+    pub(crate) rhs: Vec<f64>,
 }
 
 impl Problem {
@@ -221,16 +226,70 @@ impl Problem {
 
     /// Solves the problem.
     ///
+    /// Runs the revised-simplex engine ([`solve_revised`]) unless the
+    /// process-wide reference switch
+    /// ([`set_reference_solver`](crate::set_reference_solver)) selects the
+    /// dense tableau ([`solve_dense`]). Both engines share the same pivot
+    /// rules and the same canonical vertex extraction, so they return
+    /// bit-identical solutions whenever they stop at the same optimal
+    /// vertex (always the case for a unique optimum).
+    ///
+    /// [`solve_revised`]: Problem::solve_revised
+    /// [`solve_dense`]: Problem::solve_dense
+    ///
     /// # Errors
     ///
     /// Returns [`SolveError::BadProblem`] when a variable has `lower >
     /// upper` or a non-finite coefficient appears, and
     /// [`SolveError::IterationLimit`] if the pivot budget is exhausted.
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        if crate::revised::reference_solver() {
+            self.solve_dense()
+        } else {
+            self.solve_revised()
+        }
+    }
+
+    /// Solves with the dense-tableau engine regardless of the process-wide
+    /// reference switch. Direct entry point for equivalence tests and
+    /// benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Problem::solve).
+    pub fn solve_dense(&self) -> Result<Solution, SolveError> {
         self.validate()?;
         let mut t = Tableau::build(self);
         let status = t.run()?;
-        Ok(self.extract(&t, status, false))
+        Ok(self.extract_parts(
+            status,
+            false,
+            &t.x,
+            || t.warm_snapshot(),
+            t.pivots,
+            t.pivot_cells,
+        ))
+    }
+
+    /// Solves with the revised-simplex engine regardless of the
+    /// process-wide reference switch. Direct entry point for equivalence
+    /// tests and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Problem::solve).
+    pub fn solve_revised(&self) -> Result<Solution, SolveError> {
+        self.validate()?;
+        let mut r = crate::revised::Revised::build(self);
+        let status = r.run()?;
+        Ok(self.extract_parts(
+            status,
+            false,
+            r.terminal_x(),
+            || r.warm_snapshot(),
+            r.pivots(),
+            r.pivot_cells(),
+        ))
     }
 
     /// Solves the problem starting from a previously captured basis.
@@ -257,10 +316,33 @@ impl Problem {
     ///
     /// Same contract as [`solve`](Problem::solve).
     pub fn solve_warm(&self, warm: &WarmStart) -> Result<Solution, SolveError> {
+        if crate::revised::reference_solver() {
+            self.solve_warm_dense(warm)
+        } else {
+            self.solve_warm_revised(warm)
+        }
+    }
+
+    /// Warm-started solve with the dense-tableau engine regardless of the
+    /// process-wide reference switch.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Problem::solve).
+    pub fn solve_warm_dense(&self, warm: &WarmStart) -> Result<Solution, SolveError> {
         self.validate()?;
         if let Some(mut t) = Tableau::build_warm(self, warm) {
             match t.run() {
-                Ok(status) => return Ok(self.extract(&t, status, true)),
+                Ok(status) => {
+                    return Ok(self.extract_parts(
+                        status,
+                        true,
+                        &t.x,
+                        || t.warm_snapshot(),
+                        t.pivots,
+                        t.pivot_cells,
+                    ))
+                }
                 // A stall from a pathological warm basis is recoverable:
                 // retry from scratch below.
                 Err(SolveError::IterationLimit) => {}
@@ -269,31 +351,85 @@ impl Problem {
         }
         let mut t = Tableau::build(self);
         let status = t.run()?;
-        Ok(self.extract(&t, status, false))
+        Ok(self.extract_parts(
+            status,
+            false,
+            &t.x,
+            || t.warm_snapshot(),
+            t.pivots,
+            t.pivot_cells,
+        ))
     }
 
-    /// Builds the `Solution` for a finished tableau. Optimal solutions are
-    /// re-derived canonically from the terminal vertex (see
-    /// [`vertex_values`]; basis-based [`canonical_values`] as fallback) so
-    /// the result is a pure function of `(problem, vertex)` rather than of
-    /// the pivot path that found it.
-    fn extract(&self, t: &Tableau, status: Status, warmed: bool) -> Solution {
+    /// Warm-started solve with the revised-simplex engine regardless of
+    /// the process-wide reference switch.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Problem::solve).
+    pub fn solve_warm_revised(&self, warm: &WarmStart) -> Result<Solution, SolveError> {
+        self.validate()?;
+        if let Some(mut r) = crate::revised::Revised::build_warm(self, warm) {
+            match r.run() {
+                Ok(status) => {
+                    return Ok(self.extract_parts(
+                        status,
+                        true,
+                        r.terminal_x(),
+                        || r.warm_snapshot(),
+                        r.pivots(),
+                        r.pivot_cells(),
+                    ))
+                }
+                Err(SolveError::IterationLimit) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut r = crate::revised::Revised::build(self);
+        let status = r.run()?;
+        Ok(self.extract_parts(
+            status,
+            false,
+            r.terminal_x(),
+            || r.warm_snapshot(),
+            r.pivots(),
+            r.pivot_cells(),
+        ))
+    }
+
+    /// Builds the `Solution` for a finished solve of either engine.
+    /// Optimal solutions are re-derived canonically from the terminal
+    /// vertex (see [`vertex_values`]; basis-based [`canonical_values`] as
+    /// fallback) so the result is a pure function of `(problem, vertex)`
+    /// rather than of the pivot path — or the engine — that found it.
+    /// `terminal_x` holds the terminal variable values (structural, slack,
+    /// then any artificials); `snapshot` is consulted only on optimality.
+    fn extract_parts(
+        &self,
+        status: Status,
+        warmed: bool,
+        terminal_x: &[f64],
+        snapshot: impl FnOnce() -> Option<WarmStart>,
+        pivots: usize,
+        pivot_cells: usize,
+    ) -> Solution {
         if status != Status::Optimal {
             return Solution {
                 status,
                 x: vec![0.0; self.n],
                 objective: 0.0,
-                pivots: t.pivots,
+                pivots,
+                pivot_cells,
                 warmed,
                 warm: None,
             };
         }
-        let warm = t.warm_snapshot();
-        let canonical = vertex_values(self, &t.x)
+        let warm = snapshot();
+        let canonical = vertex_values(self, terminal_x)
             .or_else(|| warm.as_ref().and_then(|w| canonical_values(self, w)));
         let x = match &canonical {
             Some(full) => full[..self.n].to_vec(),
-            None => t.structural_values(),
+            None => terminal_x[..self.n].to_vec(),
         };
         let mut objective = 0.0;
         for (cj, xj) in self.objective.iter().zip(&x) {
@@ -303,7 +439,8 @@ impl Problem {
             status: Status::Optimal,
             x,
             objective,
-            pivots: t.pivots,
+            pivots,
+            pivot_cells,
             warmed,
             warm,
         }
@@ -336,7 +473,7 @@ impl Problem {
 
 /// Where a nonbasic variable currently rests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarState {
+pub(crate) enum VarState {
     Basic(usize), // row index
     AtLower,
     AtUpper,
@@ -362,10 +499,13 @@ struct Tableau {
     first_artificial: usize,
     /// Simplex pivots performed (basis changes; bound flips excluded).
     pivots: usize,
+    /// Tableau cell writes spent on those pivots (see
+    /// [`Solution::pivot_cells`]).
+    pivot_cells: usize,
 }
 
 /// Bounds of the slack variable encoding `rel` (see `Tableau::build`).
-fn slack_bounds(rel: Relation) -> (f64, f64) {
+pub(crate) fn slack_bounds(rel: Relation) -> (f64, f64) {
     match rel {
         Relation::Le => (0.0, f64::INFINITY),
         Relation::Ge => (f64::NEG_INFINITY, 0.0),
@@ -502,6 +642,7 @@ impl Tableau {
             n_structural: n,
             first_artificial,
             pivots: 0,
+            pivot_cells: 0,
         }
     }
 
@@ -691,6 +832,7 @@ impl Tableau {
             n_structural: n,
             first_artificial,
             pivots: 0,
+            pivot_cells: 0,
         })
     }
 
@@ -723,10 +865,6 @@ impl Tableau {
 
     fn total_vars(&self) -> usize {
         self.x.len()
-    }
-
-    fn structural_values(&self) -> Vec<f64> {
-        self.x[..self.n_structural].to_vec()
     }
 
     /// Reduced costs `d_j = c_j − c_B · T[:, j]` for the given cost vector.
@@ -906,6 +1044,7 @@ impl Tableau {
     /// `leave_state`.
     fn pivot(&mut self, row: usize, enter: usize, leave_state: VarState) {
         self.pivots += 1;
+        let total = self.total_vars();
         let leave = self.basis[row];
         let piv = self.a[row][enter];
         debug_assert!(piv.abs() > PIVOT_TOL, "pivot element too small: {piv}");
@@ -914,6 +1053,7 @@ impl Tableau {
             *v *= inv;
         }
         let pivot_row = self.a[row].clone();
+        let mut updated_rows = 0usize;
         for (i, r) in self.a.iter_mut().enumerate() {
             if i == row {
                 continue;
@@ -922,10 +1062,15 @@ impl Tableau {
             if factor == 0.0 {
                 continue;
             }
+            updated_rows += 1;
             for (v, &p) in r.iter_mut().zip(&pivot_row) {
                 *v -= factor * p;
             }
         }
+        // Normalising the pivot row plus eliminating `enter` from each
+        // touched row each rewrites a full `total`-wide tableau row — the
+        // per-pivot cost the revised engine avoids.
+        self.pivot_cells += total * (1 + updated_rows);
         self.basis[row] = enter;
         self.state[enter] = VarState::Basic(row);
         self.state[leave] = leave_state;
@@ -940,7 +1085,7 @@ impl Tableau {
 }
 
 /// Tie-break for the leaving variable: smallest variable index (Bland).
-fn better_leaving(current: &Option<(usize, VarState)>, _candidate_var: usize) -> bool {
+pub(crate) fn better_leaving(current: &Option<(usize, VarState)>, _candidate_var: usize) -> bool {
     current.is_none()
 }
 
@@ -1203,7 +1348,7 @@ fn gauss_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     Some(y)
 }
 
-enum RatioOutcome {
+pub(crate) enum RatioOutcome {
     Unbounded,
     /// The entering variable travels `t` and flips to its opposite bound.
     BoundFlip(f64),

@@ -16,9 +16,11 @@
 //! assert_eq!(a.matvec(&x), vec![-1.0, -1.0]);
 //! ```
 
+pub mod kernels;
 mod matrix;
 pub mod vecops;
 
+pub use kernels::{reference_kernels, set_reference_kernels, ShapeError};
 pub use matrix::Matrix;
 
 /// Absolute tolerance used by the approximate comparisons in this workspace.

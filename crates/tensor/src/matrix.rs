@@ -1,5 +1,6 @@
 //! Row-major dense matrix.
 
+use crate::kernels::{self, ShapeError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
@@ -244,64 +245,79 @@ impl Matrix {
     }
 
     /// Matrix–matrix product `self * rhs` using the cache-friendly `ikj`
-    /// loop order.
+    /// loop order (cache-blocked over `k` on the default substrate, with
+    /// the summation order per output element unchanged).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "Matrix::matmul: {}x{} * {}x{} is not defined",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
-            }
+        match self.try_matmul(rhs) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
         }
-        out
+    }
+
+    /// Checked [`matmul`](Self::matmul).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != rhs.rows()`.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        kernels::check_matmul("matmul", self.rows, self.cols, rhs.rows, rhs.cols)?;
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_body(rhs, &mut out);
+        Ok(out)
     }
 
     /// Like [`matmul`](Self::matmul) but writes into `out`, reusing its
     /// allocation. `out` is resized and zero-filled; it must not alias
     /// `self` or `rhs`.
     ///
-    /// The loop order, zero-skip, and summation order are identical to
-    /// `matmul`, so the result is bit-for-bit the same.
+    /// The per-element summation order is identical to `matmul`, so the
+    /// result is bit-for-bit the same.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "Matrix::matmul_into: {}x{} * {}x{} is not defined",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
+        if let Err(e) = self.try_matmul_into(rhs, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked [`matmul_into`](Self::matmul_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != rhs.rows()`.
+    pub fn try_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        kernels::check_matmul("matmul_into", self.rows, self.cols, rhs.rows, rhs.cols)?;
+        self.matmul_body(rhs, out);
+        Ok(())
+    }
+
+    /// Shared unchecked matmul body: the reference `ikj` loop or the
+    /// blocked kernel, selected by the substrate switch.
+    fn matmul_body(&self, rhs: &Matrix, out: &mut Matrix) {
         out.resize_zeroed(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
+        if kernels::reference_kernels() {
+            for i in 0..self.rows {
+                for k in 0..self.cols {
+                    let a = self.data[i * self.cols + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                    let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for (o, &r) in orow.iter_mut().zip(rrow) {
+                        *o += a * r;
+                    }
                 }
             }
+        } else {
+            kernels::matmul_blocked(&self.data, self.cols, &rhs.data, rhs.cols, &mut out.data);
         }
     }
 
@@ -332,14 +348,35 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs_t.cols()`.
     pub fn matmul_transposed_into(&self, rhs_t: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, rhs_t.cols,
-            "Matrix::matmul_transposed_into: {}x{} * ({}x{})^T is not defined",
-            self.rows, self.cols, rhs_t.rows, rhs_t.cols
-        );
+        if let Err(e) = self.try_matmul_transposed_into(rhs_t, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked [`matmul_transposed_into`](Self::matmul_transposed_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != rhs_t.cols()`.
+    pub fn try_matmul_transposed_into(
+        &self,
+        rhs_t: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        kernels::check_matmul_transposed(
+            "matmul_transposed_into",
+            self.rows,
+            self.cols,
+            rhs_t.rows,
+            rhs_t.cols,
+        )?;
         const BLOCK: usize = 32;
         out.resize_zeroed(self.rows, rhs_t.rows);
         let n = rhs_t.rows;
+        if !kernels::reference_kernels() {
+            kernels::matmul_transposed_blocked(&self.data, self.cols, &rhs_t.data, n, &mut out.data);
+            return Ok(());
+        }
         let mut jb = 0;
         while jb < n {
             let je = (jb + BLOCK).min(n);
@@ -352,6 +389,7 @@ impl Matrix {
             }
             jb = je;
         }
+        Ok(())
     }
 
     /// Fused affine back-substitution step: computes `self * weight` into
@@ -359,10 +397,11 @@ impl Matrix {
     /// over `self`. This is the inner step of DeepPoly back-substitution
     /// (`A ← A·W`, `c ← c + A·b`) without the intermediate products.
     ///
-    /// Bit-for-bit contract: `out` matches `self.matmul(weight)` (same ikj
-    /// order and zero-skip), and each `consts[i]` receives exactly
-    /// `dot(self.row(i), bias)` added once — the zero-skip does **not**
-    /// apply to the bias accumulation, matching a plain left-to-right dot.
+    /// Bit-for-bit contract: `out` matches `self.matmul(weight)` (same
+    /// per-element `k`-ascending summation order; see the `kernels`
+    /// module docs for the zero-coefficient fine print), and each
+    /// `consts[i]` receives exactly `dot(self.row(i), bias)` added once,
+    /// matching a plain left-to-right dot.
     ///
     /// # Panics
     ///
@@ -375,26 +414,46 @@ impl Matrix {
         consts: &mut [f64],
         out: &mut Matrix,
     ) {
-        assert_eq!(
-            self.cols, weight.rows,
-            "Matrix::fused_affine_into: {}x{} * {}x{} is not defined",
-            self.rows, self.cols, weight.rows, weight.cols
-        );
-        assert_eq!(
-            bias.len(),
-            self.cols,
-            "Matrix::fused_affine_into: bias length {} does not match {} cols",
-            bias.len(),
-            self.cols
-        );
-        assert_eq!(
-            consts.len(),
+        if let Err(e) = self.try_fused_affine_into(weight, bias, consts, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked [`fused_affine_into`](Self::fused_affine_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on any shape mismatch between `self`,
+    /// `weight`, `bias`, and `consts`.
+    pub fn try_fused_affine_into(
+        &self,
+        weight: &Matrix,
+        bias: &[f64],
+        consts: &mut [f64],
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        kernels::check_fused_affine(
+            "fused_affine_into",
             self.rows,
-            "Matrix::fused_affine_into: consts length {} does not match {} rows",
+            self.cols,
+            weight.rows,
+            weight.cols,
+            bias.len(),
             consts.len(),
-            self.rows
-        );
+        )?;
         out.resize_zeroed(self.rows, weight.cols);
+        if !kernels::reference_kernels() {
+            kernels::fused_affine_flat(
+                &self.data,
+                self.cols,
+                &weight.data,
+                weight.cols,
+                bias,
+                consts,
+                &mut out.data,
+            );
+            return Ok(());
+        }
         for (i, cslot) in consts.iter_mut().enumerate() {
             let mut c = 0.0;
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -411,6 +470,7 @@ impl Matrix {
             }
             *cslot += c;
         }
+        Ok(())
     }
 
     /// Masked variant of [`fused_affine_into`](Self::fused_affine_into):
@@ -436,33 +496,49 @@ impl Matrix {
         out: &mut Matrix,
         skip: &[bool],
     ) {
-        assert_eq!(
-            self.cols, weight.rows,
-            "Matrix::fused_affine_into_masked: {}x{} * {}x{} is not defined",
-            self.rows, self.cols, weight.rows, weight.cols
-        );
-        assert_eq!(
-            bias.len(),
-            self.cols,
-            "Matrix::fused_affine_into_masked: bias length {} does not match {} cols",
-            bias.len(),
-            self.cols
-        );
-        assert_eq!(
-            consts.len(),
+        if let Err(e) = self.try_fused_affine_into_masked(weight, bias, consts, out, skip) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked [`fused_affine_into_masked`](Self::fused_affine_into_masked).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on any shape mismatch, including
+    /// `skip.len() != self.cols()`.
+    pub fn try_fused_affine_into_masked(
+        &self,
+        weight: &Matrix,
+        bias: &[f64],
+        consts: &mut [f64],
+        out: &mut Matrix,
+        skip: &[bool],
+    ) -> Result<(), ShapeError> {
+        kernels::check_fused_affine(
+            "fused_affine_into_masked",
             self.rows,
-            "Matrix::fused_affine_into_masked: consts length {} does not match {} rows",
-            consts.len(),
-            self.rows
-        );
-        assert_eq!(
-            skip.len(),
             self.cols,
-            "Matrix::fused_affine_into_masked: skip length {} does not match {} cols",
-            skip.len(),
-            self.cols
-        );
+            weight.rows,
+            weight.cols,
+            bias.len(),
+            consts.len(),
+        )?;
+        kernels::check_skip_len("fused_affine_into_masked", skip.len(), self.cols)?;
         out.resize_zeroed(self.rows, weight.cols);
+        if !kernels::reference_kernels() {
+            kernels::fused_affine_flat_masked(
+                &self.data,
+                self.cols,
+                &weight.data,
+                weight.cols,
+                bias,
+                consts,
+                &mut out.data,
+                skip,
+            );
+            return Ok(());
+        }
         for (i, cslot) in consts.iter_mut().enumerate() {
             let mut c = 0.0;
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -482,6 +558,70 @@ impl Matrix {
             }
             *cslot += c;
         }
+        Ok(())
+    }
+
+    /// Block-sparse variant of
+    /// [`fused_affine_into_masked`](Self::fused_affine_into_masked): the
+    /// participating columns are given as ascending, disjoint, half-open
+    /// `(start, end)` runs instead of a per-column mask, so whole masked
+    /// column blocks are skipped structurally. With `runs` equal to the
+    /// maximal unmasked intervals of a skip mask the result is bit-for-bit
+    /// identical to the masked kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch, including a run that does not fit
+    /// `self.cols()`.
+    pub fn fused_affine_into_runs(
+        &self,
+        weight: &Matrix,
+        bias: &[f64],
+        consts: &mut [f64],
+        out: &mut Matrix,
+        runs: &[(usize, usize)],
+    ) {
+        if let Err(e) = self.try_fused_affine_into_runs(weight, bias, consts, out, runs) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked [`fused_affine_into_runs`](Self::fused_affine_into_runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on any shape mismatch, including a run
+    /// that does not fit `self.cols()`.
+    pub fn try_fused_affine_into_runs(
+        &self,
+        weight: &Matrix,
+        bias: &[f64],
+        consts: &mut [f64],
+        out: &mut Matrix,
+        runs: &[(usize, usize)],
+    ) -> Result<(), ShapeError> {
+        kernels::check_fused_affine(
+            "fused_affine_into_runs",
+            self.rows,
+            self.cols,
+            weight.rows,
+            weight.cols,
+            bias.len(),
+            consts.len(),
+        )?;
+        kernels::check_runs("fused_affine_into_runs", runs, self.cols)?;
+        out.resize_zeroed(self.rows, weight.cols);
+        kernels::fused_affine_runs(
+            &self.data,
+            self.cols,
+            &weight.data,
+            weight.cols,
+            bias,
+            consts,
+            &mut out.data,
+            runs,
+        );
+        Ok(())
     }
 
     /// Matrix–vector product `self * x`.
@@ -764,6 +904,167 @@ mod tests {
             .prop_map(move |v| Matrix::from_vec(rows, cols, v))
     }
 
+    /// The pre-optimization `ikj` matmul, written against the public API
+    /// so it cannot share code (or bugs) with either substrate path.
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a.row(i)[k];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out.row_mut(i)[j] += av * b.row(k)[j];
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_bits_eq(got: &Matrix, want: &Matrix) {
+        assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+        for (u, v) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    /// Test matrix with natural zeros sprinkled in (the formula hits 0.0
+    /// whenever the hash lands on 6), so the zero-skip paths are hit.
+    fn seeded(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| ((i * 7 + j * 3 + salt) % 13) as f64 - 6.0)
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference_across_block_boundaries() {
+        // Shapes straddle the KBLOCK=64 boundary (1 block, exactly 1
+        // block, several blocks) plus degenerate 0-extent cases.
+        for &(m, k, n) in &[
+            (5, 200, 7),
+            (3, 64, 4),
+            (1, 65, 3),
+            (2, 1, 1),
+            (0, 3, 4),
+            (3, 0, 4),
+            (3, 4, 0),
+        ] {
+            let a = seeded(m, k, 1);
+            let b = seeded(k, n, 5);
+            assert_bits_eq(&a.matmul(&b), &matmul_reference(&a, &b));
+            let mut out = Matrix::from_fn(2, 9, |_, _| 42.0);
+            a.matmul_into(&b, &mut out);
+            assert_bits_eq(&out, &matmul_reference(&a, &b));
+        }
+    }
+
+    /// Restores the optimized substrate even if the test body panics.
+    struct SubstrateGuard;
+    impl Drop for SubstrateGuard {
+        fn drop(&mut self) {
+            crate::kernels::set_reference_kernels(false);
+        }
+    }
+
+    #[test]
+    fn reference_kernel_switch_reproduces_optimized_results() {
+        // Both substrate paths are bit-identical by construction, so
+        // concurrently running tests are unaffected by this toggle; this
+        // test pins the equivalence for every dispatched entry point.
+        let _guard = SubstrateGuard;
+        let a = seeded(9, 130, 2);
+        let w = seeded(130, 11, 3);
+        let bias: Vec<f64> = (0..130).map(|k| ((k * 5 + 1) % 9) as f64 - 4.0).collect();
+        let skip: Vec<bool> = (0..130).map(|k| k % 3 == 0 || (17..40).contains(&k)).collect();
+        let run_all = |reference: bool| {
+            crate::kernels::set_reference_kernels(reference);
+            let mm = a.matmul(&w);
+            let mut mt = Matrix::default();
+            a.matmul_transposed_into(&w.transpose(), &mut mt);
+            let mut fused_c = vec![0.25; 9];
+            let mut fused = Matrix::default();
+            a.fused_affine_into(&w, &bias, &mut fused_c, &mut fused);
+            let mut masked_c = vec![-0.5; 9];
+            let mut masked = Matrix::default();
+            a.fused_affine_into_masked(&w, &bias, &mut masked_c, &mut masked, &skip);
+            crate::kernels::set_reference_kernels(false);
+            (mm, mt, fused_c, fused, masked_c, masked)
+        };
+        let opt = run_all(false);
+        let refk = run_all(true);
+        assert_bits_eq(&opt.0, &refk.0);
+        assert_bits_eq(&opt.1, &refk.1);
+        assert_bits_eq(&opt.3, &refk.3);
+        assert_bits_eq(&opt.5, &refk.5);
+        for (u, v) in opt.2.iter().zip(&refk.2) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        for (u, v) in opt.4.iter().zip(&refk.4) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    /// Maximal unmasked intervals of a skip mask — the structural
+    /// equivalent the block-sparse kernel consumes.
+    fn runs_of(skip: &[bool]) -> Vec<(usize, usize)> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (k, &sk) in skip.iter().enumerate() {
+            match (sk, start) {
+                (false, None) => start = Some(k),
+                (true, Some(s)) => {
+                    runs.push((s, k));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s, skip.len()));
+        }
+        runs
+    }
+
+    #[test]
+    fn fused_affine_runs_handles_degenerate_shapes() {
+        // Empty runs list: only the `+= 0.0` const normalization happens.
+        let a = seeded(3, 4, 0);
+        let w = seeded(4, 2, 1);
+        let bias = vec![1.0; 4];
+        let mut c = vec![-0.0_f64, 1.0, -2.0];
+        let mut out = Matrix::default();
+        a.fused_affine_into_runs(&w, &bias, &mut c, &mut out, &[]);
+        assert_eq!(c[0].to_bits(), 0.0_f64.to_bits());
+        assert_bits_eq(&out, &Matrix::zeros(3, 2));
+        // Zero-length run behaves like no run at all.
+        a.fused_affine_into_runs(&w, &bias, &mut c, &mut out, &[(2, 2)]);
+        assert_bits_eq(&out, &Matrix::zeros(3, 2));
+        // 0-col lhs and 0-col weight.
+        let e = Matrix::zeros(3, 0);
+        let w0 = Matrix::zeros(0, 2);
+        let mut c0 = vec![0.5; 3];
+        e.fused_affine_into_runs(&w0, &[], &mut c0, &mut out, &[]);
+        assert_bits_eq(&out, &Matrix::zeros(3, 2));
+        let wn = Matrix::zeros(4, 0);
+        let mut cn = vec![0.5; 3];
+        a.fused_affine_into_runs(&wn, &bias, &mut cn, &mut out, &[(0, 4)]);
+        let mut cm = vec![0.5; 3];
+        let mut outm = Matrix::default();
+        a.fused_affine_into_masked(&wn, &bias, &mut cm, &mut outm, &[false; 4]);
+        for (u, v) in cn.iter().zip(&cm) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn fused_affine_runs_rejects_out_of_range_runs() {
+        let a = seeded(2, 3, 0);
+        let w = seeded(3, 2, 1);
+        let mut c = vec![0.0; 2];
+        let mut out = Matrix::default();
+        a.fused_affine_into_runs(&w, &[0.0; 3], &mut c, &mut out, &[(1, 4)]);
+    }
+
     proptest! {
         #[test]
         fn matmul_is_associative(
@@ -889,6 +1190,32 @@ mod tests {
                 prop_assert_eq!(u.to_bits(), v.to_bits());
             }
             for (u, v) in masked_c.iter().zip(&ref_c) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+
+        #[test]
+        fn fused_affine_runs_matches_masked_kernel(
+            a in small_matrix(3, 12),
+            w in small_matrix(12, 5),
+            bias in proptest::collection::vec(-5.0..5.0_f64, 12),
+            consts in proptest::collection::vec(-5.0..5.0_f64, 3),
+            skip_bits in proptest::collection::vec(0u8..2, 12),
+        ) {
+            let skip: Vec<bool> = skip_bits.iter().map(|&b| b == 1).collect();
+            let runs = runs_of(&skip);
+            let mut masked_c = consts.clone();
+            let mut masked_out = Matrix::default();
+            a.fused_affine_into_masked(&w, &bias, &mut masked_c, &mut masked_out, &skip);
+            let mut runs_c = consts;
+            let mut runs_out = Matrix::from_fn(2, 2, |_, _| 42.0);
+            a.fused_affine_into_runs(&w, &bias, &mut runs_c, &mut runs_out, &runs);
+            prop_assert_eq!(runs_out.rows(), masked_out.rows());
+            prop_assert_eq!(runs_out.cols(), masked_out.cols());
+            for (u, v) in runs_out.as_slice().iter().zip(masked_out.as_slice()) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+            for (u, v) in runs_c.iter().zip(&masked_c) {
                 prop_assert_eq!(u.to_bits(), v.to_bits());
             }
         }

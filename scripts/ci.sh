@@ -61,10 +61,21 @@ for report in "$out2"/rq1-smoke-2025.* "$out2"/table2.csv; do
     diff "$report" "$outnw/$(basename "$report")"
 done
 
+echo "== substrate equivalence: --reference-kernels must reproduce every report byte =="
+outrk=$(mktemp -d)
+cargo run --release -q -p abonn-bench --bin table2 -- \
+    --scale smoke --seed 2025 --threads 2 --fresh --reference-kernels \
+    --out-dir "$outrk" >/dev/null
+for report in "$out2"/rq1-smoke-2025.* "$out2"/table2.csv; do
+    diff "$report" "$outrk/$(basename "$report")"
+done
+
 echo "== benches: warm-start LP micro-benchmarks (trajectory in perf/BENCH_lp.jsonl) =="
 rm -f target/experiments/BENCH_lp.json
 ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_lp.json" \
     cargo bench -q -p abonn-lp --bench simplex_warm
+ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_lp.json" \
+    cargo bench -q -p abonn-lp --bench revised
 ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_lp.json" \
     cargo bench -q -p abonn-bound --bench triangle_lp
 test -s target/experiments/BENCH_lp.json
@@ -75,6 +86,24 @@ test -s target/experiments/BENCH_lp.json
 diff <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' perf/BENCH_lp.jsonl | sort -u) \
      <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' target/experiments/BENCH_lp.json | sort -u)
 cat target/experiments/BENCH_lp.json >> perf/BENCH_lp.jsonl
+
+echo "== benches: tensor kernel micro-benchmarks (trajectory in perf/BENCH_tensor.jsonl) =="
+rm -f target/experiments/BENCH_tensor.json
+ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_tensor.json" \
+    cargo bench -q -p abonn-tensor --bench blocked
+test -s target/experiments/BENCH_tensor.json
+diff <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' perf/BENCH_tensor.jsonl | sort -u) \
+     <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' target/experiments/BENCH_tensor.json | sort -u)
+cat target/experiments/BENCH_tensor.json >> perf/BENCH_tensor.jsonl
+
+echo "== benches: block-sparse backsub micro-benchmarks (trajectory in perf/BENCH_backsub.jsonl) =="
+rm -f target/experiments/BENCH_backsub.json
+ABONN_BENCH_JSON="$PWD/target/experiments/BENCH_backsub.json" \
+    cargo bench -q -p abonn-bound --bench backsub_sparse
+test -s target/experiments/BENCH_backsub.json
+diff <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' perf/BENCH_backsub.jsonl | sort -u) \
+     <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' target/experiments/BENCH_backsub.json | sort -u)
+cat target/experiments/BENCH_backsub.json >> perf/BENCH_backsub.jsonl
 
 echo "== soundness: fixed-seed differential fuzz smoke =="
 outfz=$(mktemp -d)
@@ -136,5 +165,5 @@ echo "== soundness: certificate audit over the MNIST tier-1 suite =="
 cargo run --release -q -p abonn-bench --bin check -- \
     --scale smoke --seed 2025 --out-dir "$out2" --models mnist 2>/dev/null
 
-rm -rf "$out1" "$out2" "$outnc" "$outnw" "$outfz"
+rm -rf "$out1" "$out2" "$outnc" "$outnw" "$outrk" "$outfz"
 echo "ci: ok"
